@@ -1,0 +1,65 @@
+package singlingout
+
+// The root benchmark suite regenerates every experiment in DESIGN.md's
+// per-experiment index (one Benchmark per table/series, plus the ablation
+// benches). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment harness and prints the measured
+// table once, so the bench log doubles as the reproduction record (see
+// EXPERIMENTS.md for the archived full-size numbers).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"singlingout/internal/experiments"
+)
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Run(1, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			fmt.Print(tab.String())
+		}
+	}
+}
+
+func BenchmarkE01ExhaustiveReconstruction(b *testing.B) { benchExperiment(b, "E01") }
+func BenchmarkE02LPReconstruction(b *testing.B)         { benchExperiment(b, "E02") }
+func BenchmarkE03LaplaceDP(b *testing.B)                { benchExperiment(b, "E03") }
+func BenchmarkE04BirthdayIsolation(b *testing.B)        { benchExperiment(b, "E04") }
+func BenchmarkE05IsolationCurve(b *testing.B)           { benchExperiment(b, "E05") }
+func BenchmarkE06CountPSOSecurity(b *testing.B)         { benchExperiment(b, "E06") }
+func BenchmarkE07PostProcessing(b *testing.B)           { benchExperiment(b, "E07") }
+func BenchmarkE08CompositionAttack(b *testing.B)        { benchExperiment(b, "E08") }
+func BenchmarkE09DPPSOSecurity(b *testing.B)            { benchExperiment(b, "E09") }
+func BenchmarkE10KAnonPSOAttack(b *testing.B)           { benchExperiment(b, "E10") }
+func BenchmarkE11CensusReconstruction(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12QuasiIDUniqueness(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13DiffixReconstruction(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14KAnonComposition(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15CohenStyleAttack(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16LegalVerdictTable(b *testing.B)        { benchExperiment(b, "E16") }
+func BenchmarkE17MembershipInference(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18NetflixScoreboard(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19CensusDefenses(b *testing.B)           { benchExperiment(b, "E19") }
+
+func BenchmarkAblationLPObjective(b *testing.B)         { benchExperiment(b, "A01") }
+func BenchmarkAblationPrefixArity(b *testing.B)         { benchExperiment(b, "A02") }
+func BenchmarkAblationMondrianSplit(b *testing.B)       { benchExperiment(b, "A03") }
+func BenchmarkAblationCardinalityEncoding(b *testing.B) { benchExperiment(b, "A04") }
+func BenchmarkAblationIntegerNoise(b *testing.B)        { benchExperiment(b, "A05") }
+func BenchmarkAblationFullDomainSearch(b *testing.B)    { benchExperiment(b, "A06") }

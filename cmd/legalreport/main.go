@@ -1,0 +1,35 @@
+// Command legalreport runs the verdict-producing experiment suite and
+// prints the legal-theorem report of Section 2.4: evidence-backed claims
+// about whether k-anonymity, ℓ-diversity and differential privacy prevent
+// GDPR singling out, and the comparison with the Article 29 Working
+// Party's Opinion on Anonymisation Techniques.
+//
+// Usage:
+//
+//	legalreport [-seed 1] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"singlingout/internal/experiments"
+	"singlingout/internal/legal"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	full := flag.Bool("full", false, "run publication-size experiments (slower)")
+	flag.Parse()
+
+	claims, comparison, err := experiments.LegalClaims(*seed, !*full)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
+		os.Exit(1)
+	}
+	if err := legal.Report(os.Stdout, claims, comparison); err != nil {
+		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command psoctl runs the predicate-singling-out experiment suite (E04 –
+// E10, E15, E16 and the PSO ablations) and prints the measured tables.
+//
+// Usage:
+//
+//	psoctl [-id E08] [-seed 1] [-full] [-list]
+//
+// Without -id it runs every PSO experiment; -full uses the publication
+// sizes recorded in EXPERIMENTS.md instead of the quick CI sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"singlingout/internal/experiments"
+)
+
+var psoIDs = []string{"E04", "E05", "E06", "E07", "E08", "E09", "E10", "E15", "E16", "A02", "A03"}
+
+func main() {
+	id := flag.String("id", "", "single experiment id to run (default: the whole PSO suite)")
+	seed := flag.Int64("seed", 1, "random seed")
+	full := flag.Bool("full", false, "run publication-size experiments (slower)")
+	list := flag.Bool("list", false, "list the experiments in the PSO suite")
+	flag.Parse()
+
+	if *list {
+		for _, eid := range psoIDs {
+			r, _ := experiments.ByID(eid)
+			fmt.Printf("%s  %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+	ids := psoIDs
+	if *id != "" {
+		ids = []string{strings.ToUpper(*id)}
+	}
+	for _, eid := range ids {
+		r, ok := experiments.ByID(eid)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "psoctl: unknown experiment %q (try -list)\n", eid)
+			os.Exit(1)
+		}
+		tab, err := r.Run(*seed, !*full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psoctl: %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command reconstruct runs the database-reconstruction attacks: the
+// Dinur–Nissim exhaustive and LP-decoding attacks (E01, E02), the
+// census-style SAT reconstruction with registry re-identification (E11),
+// and the Diffix-style LP reconstruction (E13).
+//
+// Usage:
+//
+//	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"singlingout/internal/experiments"
+)
+
+func main() {
+	attack := flag.String("attack", "all", "attack to run: all, exhaustive, lp, census, diffix")
+	seed := flag.Int64("seed", 1, "random seed")
+	full := flag.Bool("full", false, "run publication-size experiments (slower)")
+	flag.Parse()
+
+	byName := map[string][]string{
+		"exhaustive": {"E01"},
+		"lp":         {"E02", "A01"},
+		"census":     {"E11"},
+		"diffix":     {"E13"},
+		"all":        {"E01", "E02", "A01", "E11", "E13"},
+	}
+	ids, ok := byName[*attack]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "reconstruct: unknown attack %q\n", *attack)
+		os.Exit(1)
+	}
+	for _, id := range ids {
+		r, _ := experiments.ByID(id)
+		tab, err := r.Run(*seed, !*full)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reconstruct: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

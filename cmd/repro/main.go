@@ -1,0 +1,47 @@
+// Command repro regenerates every experiment table in DESIGN.md's
+// per-experiment index (E01–E16 and the ablations A01–A05). Its full-size
+// output is what EXPERIMENTS.md archives.
+//
+// Usage:
+//
+//	repro [-seed 1] [-quick] [-id E02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"singlingout/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "CI-size runs instead of publication sizes")
+	id := flag.String("id", "", "run a single experiment id")
+	flag.Parse()
+
+	runners := experiments.All()
+	if *id != "" {
+		r, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *id)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tab, err := r.Run(*seed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s completed in %s]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

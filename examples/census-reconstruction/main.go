@@ -1,0 +1,91 @@
+// Census reconstruction: the paper's Section 1 narrative end to end.
+//
+//  1. A census bureau collects block-level microdata and publishes only
+//     statistical tables (counts by sex × age bucket, race × ethnicity,
+//     sex × race per block).
+//  2. An attacker encodes the tables as SAT and reconstructs person-level
+//     records.
+//  3. The reconstructed records are re-identified by linkage against a
+//     commercial-style registry.
+//  4. The same tables released with differential privacy resist step 2.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"singlingout/internal/census"
+	"singlingout/internal/dp"
+	"singlingout/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2010))
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 400, ZIPs: 4, BlocksPerZIP: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := census.DefaultConfig()
+	tables := census.Tabulate(pop, cfg)
+	fmt.Printf("published %d block tables covering %d people\n", len(tables), pop.Len())
+
+	// Step 2: reconstruct.
+	results, sum, err := census.Reconstruct(pop, cfg, 500000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstruction: %d/%d blocks solved, %d with a unique solution\n",
+		sum.Solved, sum.Blocks, sum.Unique)
+	fmt.Printf("records reconstructed exactly: %d/%d (%.1f%%)  [paper: 46%% of US population]\n",
+		sum.ExactRecords, sum.Persons, 100*sum.ExactFraction)
+
+	// Step 3: re-identify against a registry covering half the population.
+	reg, err := synth.Registry(rng, pop, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := census.Linkage(pop, reg, results, cfg)
+	fmt.Printf("linkage vs 50%%-coverage registry: %.1f%% putative, %.1f%% confirmed  [paper: 17%% confirmed]\n",
+		100*link.PutativeRate(), 100*link.ConfirmedRate())
+
+	// Step 4: what the bureau should have done — noise the tables.
+	// A quick demonstration on one populated block: each published cell
+	// gets ε-DP geometric noise, and the noisy tables no longer pin down
+	// the microdata (most noisy tables are not even jointly consistent).
+	var biggest census.BlockTables
+	for _, bt := range tables {
+		if bt.Total > biggest.Total {
+			biggest = bt
+		}
+	}
+	eps := 0.5
+	noised := biggest
+	noised.SexAge = noiseCells(rng, biggest.SexAge, eps)
+	noised.RaceEt = noiseCells(rng, biggest.RaceEt, eps)
+	noised.SexRc = noiseCells(rng, biggest.SexRc, eps)
+	fmt.Printf("\nblock %d (%d residents) with ε=%.1f-DP noisy tables: ", biggest.Block, biggest.Total, eps)
+	res, err := census.ReconstructBlock(noised, cfg, 200000)
+	if errors.Is(err, census.ErrInconsistentTables) {
+		fmt.Println("noisy tables are jointly inconsistent — the SAT attack finds no microdata at all")
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := census.TrueTuples(pop, cfg)[biggest.Block]
+	exact := census.MultisetIntersection(truth, res.Tuples)
+	fmt.Printf("solver found a candidate, but only %d/%d records match the truth\n", exact, len(truth))
+}
+
+func noiseCells(rng *rand.Rand, cells map[[2]int]int, eps float64) map[[2]int]int {
+	out := map[[2]int]int{}
+	for k, v := range cells {
+		n := int(dp.GeometricCount(rng, int64(v), eps))
+		if n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Linkage attack: Sweeney's GIC re-identification, simulated.
+//
+// A "Group Insurance Commission" publishes hospital microdata with names
+// redacted but (ZIP, birth date, sex) intact; the attacker buys the voter
+// registry and joins. The example then shows both modern defenses on the
+// same data: k-anonymity stops this particular linkage, and the
+// Netflix-style scoreboard attack shows how sparse high-dimensional data
+// re-identifies even without clean quasi-identifiers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"singlingout/internal/kanon"
+	"singlingout/internal/reident"
+	"singlingout/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1997))
+
+	// The GIC data: 20k people; "names redacted" = row order is identity.
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 20000, ZIPs: 25, BlocksPerZIP: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qi := []int{
+		pop.Schema.MustIndex(synth.AttrZIP),
+		pop.Schema.MustIndex(synth.AttrBirthDate),
+		pop.Schema.MustIndex(synth.AttrSex),
+	}
+	rep := reident.Uniqueness(pop, qi)
+	fmt.Printf("GIC release: %d records; (ZIP, birth date, sex) unique for %.1f%%  [Sweeney: 87%%]\n",
+		rep.Records, 100*rep.UniqueFraction())
+
+	// The Cambridge voter registration: 70% of the population.
+	reg, err := synth.Registry(rng, pop, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := reident.Linkage(pop, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linkage with voter registry (70%% coverage): %.1f%% uniquely matched, precision %.1f%%\n",
+		100*res.MatchRate(), 100*res.Precision())
+
+	// Defense: 5-anonymize before release — the classes now cover entire
+	// QI regions and the join produces no unique matches.
+	rel, err := kanon.Mondrian(pop, qi, 5, kanon.MondrianOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	smallest := pop.Len()
+	for _, c := range rel.Classes {
+		if len(c.Rows) < smallest {
+			smallest = len(c.Rows)
+		}
+	}
+	fmt.Printf("after Mondrian 5-anonymization: %d classes, smallest class %d — no record unique on QI\n",
+		len(rel.Classes), smallest)
+	fmt.Println("(but see cmd/legalreport: k-anonymity still fails predicate singling out)")
+
+	// The Netflix lesson: sparse behavioral data needs no QI at all.
+	ratings, err := synth.GenerateRatings(rng, synth.RatingsConfig{
+		Users: 2000, Movies: 800, MeanRatings: 30, Days: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb := &reident.Scoreboard{Released: ratings, StarsSlop: 1, DaySlop: 14, Eccentricity: 1.5}
+	correct, wrong := reident.DeAnonymizationRate(rng, ratings, sb, 50, 8)
+	fmt.Printf("Netflix-style scoreboard with 8 noisy ratings: %.0f%% identified, %.0f%% misidentified  [N-S: 99%% with 8 ratings]\n",
+		100*correct, 100*wrong)
+}

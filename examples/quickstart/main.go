@@ -1,0 +1,57 @@
+// Quickstart: a 5-minute tour of the library — differentially private
+// counting, k-anonymization, and a predicate-singling-out audit, all on a
+// synthetic population.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/dp"
+	"singlingout/internal/kanon"
+	"singlingout/internal/pso"
+	"singlingout/internal/synth"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// 1. Generate a synthetic population (the stand-in for real microdata).
+	cfg := synth.PopulationConfig{N: 5000, ZIPs: 10, BlocksPerZIP: 10}
+	pop, err := synth.Population(rng, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diseaseI := pop.Schema.MustIndex(synth.AttrDisease)
+	diabetics := pop.Count(func(r dataset.Record) bool { return r[diseaseI] == 11 }) // "Diabetes"
+	fmt.Printf("population: %d people, %d diabetic\n", pop.Len(), diabetics)
+
+	// 2. Release the count with differential privacy (Theorem 1.3).
+	for _, eps := range []float64{0.1, 1.0} {
+		noisy := dp.LaplaceCount(rng, int64(diabetics), eps)
+		fmt.Printf("ε=%-4g DP count: %.1f (error %+.1f)\n", eps, noisy, noisy-float64(diabetics))
+	}
+
+	// 3. k-anonymize the quasi-identifiers with Mondrian.
+	qi := pop.Schema.QuasiIdentifiers()
+	rel, err := kanon.Mondrian(pop, qi, 5, kanon.MondrianOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("5-anonymous release: %d classes, info loss %.3f, ℓ-diversity %d\n",
+		len(rel.Classes), kanon.GenILoss(rel), kanon.LDiversity(rel, pop, diseaseI))
+
+	// 4. Audit the release for GDPR singling out (Theorem 2.10): one run
+	// of the equivalence-class attack.
+	att := pso.KAnonClass{Sample: synth.IndividualSampler(cfg), WeightSamples: 2000}
+	pred, err := att.Attack(rng, rel, pop.Len())
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches := pso.IsolationCount(pred, pop)
+	fmt.Printf("PSO attack predicate: %s\n", pred.Describe())
+	fmt.Printf("matches %d raw record(s) — singled out: %v (≈37%% per attempt)\n",
+		matches, matches == 1)
+}

@@ -1,0 +1,3 @@
+module singlingout
+
+go 1.22

@@ -1,0 +1,375 @@
+// Package census reproduces the database-reconstruction pipeline the paper
+// describes for the 2010 US Decennial Census ([7], [24]): block-level
+// statistical tables are published from microdata, an attacker encodes the
+// tables as a SAT instance and reconstructs person-level records, and the
+// reconstructed records are re-identified by linkage against an identified
+// auxiliary registry (the "commercial database" of the paper's narrative).
+//
+// The published tables mirror the structure of the SF1 tables used in the
+// real attack at reduced scale: per census block, joint counts of
+// sex × age-bucket, race × ethnicity, and sex × race.
+package census
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/sat"
+	"singlingout/internal/synth"
+)
+
+// ErrInconsistentTables is returned by ReconstructBlock when the supplied
+// tables admit no microdata at all — the expected outcome for tables that
+// were noised before publication.
+var ErrInconsistentTables = errors.New("tables jointly unsatisfiable")
+
+// Config controls tabulation granularity.
+type Config struct {
+	// AgeBucketWidth is the width in years of published age buckets
+	// (default 10).
+	AgeBucketWidth int
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config { return Config{AgeBucketWidth: 10} }
+
+func (c Config) bucketWidth() int {
+	if c.AgeBucketWidth <= 0 {
+		return 10
+	}
+	return c.AgeBucketWidth
+}
+
+// Buckets returns the number of age buckets.
+func (c Config) Buckets() int { return (110 + c.bucketWidth()) / c.bucketWidth() }
+
+// Tuple is one reconstructed (or true) person abstraction at table
+// granularity.
+type Tuple struct {
+	Sex       int
+	AgeBucket int
+	Race      int
+	Ethnicity int
+}
+
+// numCells returns the joint domain size.
+func (c Config) numCells() int { return 2 * c.Buckets() * 6 * 2 }
+
+// cellID flattens a tuple.
+func (c Config) cellID(t Tuple) int {
+	return ((t.Sex*c.Buckets()+t.AgeBucket)*6+t.Race)*2 + t.Ethnicity
+}
+
+// cellTuple unflattens a cell id.
+func (c Config) cellTuple(id int) Tuple {
+	t := Tuple{Ethnicity: id % 2}
+	id /= 2
+	t.Race = id % 6
+	id /= 6
+	t.AgeBucket = id % c.Buckets()
+	t.Sex = id / c.Buckets()
+	return t
+}
+
+// BlockTables is the published tabulation of one census block.
+type BlockTables struct {
+	Block  int64
+	Total  int
+	SexAge map[[2]int]int // (sex, ageBucket) -> count
+	RaceEt map[[2]int]int // (race, ethnicity) -> count
+	SexRc  map[[2]int]int // (sex, race) -> count
+}
+
+// TrueTuples extracts ground-truth tuples per block from the population.
+func TrueTuples(pop *dataset.Dataset, cfg Config) map[int64][]Tuple {
+	sexI := pop.Schema.MustIndex(synth.AttrSex)
+	ageI := pop.Schema.MustIndex(synth.AttrAge)
+	raceI := pop.Schema.MustIndex(synth.AttrRace)
+	ethI := pop.Schema.MustIndex(synth.AttrEthnicity)
+	blockI := pop.Schema.MustIndex(synth.AttrBlock)
+	out := map[int64][]Tuple{}
+	for _, r := range pop.Rows {
+		t := Tuple{
+			Sex:       int(r[sexI]),
+			AgeBucket: int(r[ageI]) / cfg.bucketWidth(),
+			Race:      int(r[raceI]),
+			Ethnicity: int(r[ethI]),
+		}
+		out[r[blockI]] = append(out[r[blockI]], t)
+	}
+	return out
+}
+
+// Tabulate publishes block tables for every inhabited block.
+func Tabulate(pop *dataset.Dataset, cfg Config) []BlockTables {
+	truth := TrueTuples(pop, cfg)
+	blocks := make([]int64, 0, len(truth))
+	for b := range truth {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	out := make([]BlockTables, 0, len(blocks))
+	for _, b := range blocks {
+		bt := BlockTables{
+			Block:  b,
+			SexAge: map[[2]int]int{},
+			RaceEt: map[[2]int]int{},
+			SexRc:  map[[2]int]int{},
+		}
+		for _, t := range truth[b] {
+			bt.Total++
+			bt.SexAge[[2]int{t.Sex, t.AgeBucket}]++
+			bt.RaceEt[[2]int{t.Race, t.Ethnicity}]++
+			bt.SexRc[[2]int{t.Sex, t.Race}]++
+		}
+		out = append(out, bt)
+	}
+	return out
+}
+
+// BlockResult is the outcome of reconstructing one block.
+type BlockResult struct {
+	Block int64
+	Size  int
+	// Solved reports whether any consistent assignment was found within
+	// the conflict budget.
+	Solved bool
+	// Unique reports whether the consistent assignment was the only one
+	// (checked by a second solver run with the first multiset blocked).
+	Unique bool
+	// Tuples is a reconstructed multiset of person abstractions.
+	Tuples []Tuple
+	// Exact is the size of the multiset intersection between Tuples and
+	// the true block tuples (records reconstructed exactly).
+	Exact int
+}
+
+// ReconstructBlock encodes the published tables of one block as CNF and
+// solves for the person-level records. Symmetry between persons is broken
+// with a lexicographic ordering chain, so each candidate multiset
+// corresponds to exactly one model and uniqueness can be decided with a
+// single extra solver call.
+func ReconstructBlock(bt BlockTables, cfg Config, maxConflicts int64) (BlockResult, error) {
+	res := BlockResult{Block: bt.Block, Size: bt.Total}
+	if bt.Total == 0 {
+		res.Solved, res.Unique = true, true
+		return res, nil
+	}
+	cells := cfg.numCells()
+	s := sat.New()
+	s.MaxConflicts = maxConflicts
+	// x[p][c]: person p has joint cell c.
+	x := make([][]int, bt.Total)
+	for p := range x {
+		x[p] = make([]int, cells)
+		for c := range x[p] {
+			x[p][c] = s.NewVar()
+		}
+		if err := s.AddClause(x[p]...); err != nil {
+			return res, err
+		}
+		if err := s.AtMostK(x[p], 1); err != nil {
+			return res, err
+		}
+	}
+	// Published-count constraints.
+	addGroup := func(members func(t Tuple) bool, count int) error {
+		var vars []int
+		for p := range x {
+			for c := 0; c < cells; c++ {
+				if members(cfg.cellTuple(c)) {
+					vars = append(vars, x[p][c])
+				}
+			}
+		}
+		if count == 0 {
+			for _, v := range vars {
+				if err := s.AddClause(-v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return s.ExactlyK(vars, count)
+	}
+	for sex := 0; sex < 2; sex++ {
+		for b := 0; b < cfg.Buckets(); b++ {
+			sex, b := sex, b
+			if err := addGroup(func(t Tuple) bool { return t.Sex == sex && t.AgeBucket == b }, bt.SexAge[[2]int{sex, b}]); err != nil {
+				return res, err
+			}
+		}
+	}
+	for race := 0; race < 6; race++ {
+		for eth := 0; eth < 2; eth++ {
+			race, eth := race, eth
+			if err := addGroup(func(t Tuple) bool { return t.Race == race && t.Ethnicity == eth }, bt.RaceEt[[2]int{race, eth}]); err != nil {
+				return res, err
+			}
+		}
+	}
+	for sex := 0; sex < 2; sex++ {
+		for race := 0; race < 6; race++ {
+			sex, race := sex, race
+			if err := addGroup(func(t Tuple) bool { return t.Sex == sex && t.Race == race }, bt.SexRc[[2]int{sex, race}]); err != nil {
+				return res, err
+			}
+		}
+	}
+	// Symmetry breaking: cellid_p <= cellid_{p+1} via threshold chains.
+	// t[p][c] ⇔ cellid_p >= c, for c in 1..cells-1.
+	if bt.Total > 1 {
+		thr := make([][]int, bt.Total)
+		for p := range thr {
+			thr[p] = make([]int, cells) // index c>=1 used
+			for c := cells - 1; c >= 1; c-- {
+				thr[p][c] = s.NewVar()
+				// x[p][c] -> t[p][c]
+				if err := s.AddClause(-x[p][c], thr[p][c]); err != nil {
+					return res, err
+				}
+				if c+1 < cells {
+					// t[p][c+1] -> t[p][c]
+					if err := s.AddClause(-thr[p][c+1], thr[p][c]); err != nil {
+						return res, err
+					}
+					// t[p][c] -> x[p][c] ∨ t[p][c+1]
+					if err := s.AddClause(-thr[p][c], x[p][c], thr[p][c+1]); err != nil {
+						return res, err
+					}
+				} else {
+					// t[p][cells-1] -> x[p][cells-1]
+					if err := s.AddClause(-thr[p][c], x[p][c]); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+		for p := 0; p+1 < bt.Total; p++ {
+			for c := 1; c < cells; c++ {
+				// cellid_p >= c -> cellid_{p+1} >= c.
+				if err := s.AddClause(-thr[p][c], thr[p+1][c]); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		// Unsatisfiable tables cannot arise from honest tabulation, but
+		// do arise when callers feed noised tables (the DP defense).
+		return res, fmt.Errorf("census: block %d: %w", bt.Block, ErrInconsistentTables)
+	case sat.Unknown:
+		return res, nil // budget exhausted; Solved stays false
+	}
+	res.Solved = true
+	res.Tuples = extractTuples(s, x, cfg)
+	// Uniqueness: block this model over the x variables and re-solve. With
+	// lex ordering, any second model is a genuinely different multiset.
+	var xs []int
+	for _, row := range x {
+		xs = append(xs, row...)
+	}
+	if err := s.BlockModel(xs); err != nil {
+		return res, err
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		res.Unique = true
+	case sat.Unknown:
+		// Could not verify uniqueness within budget; leave Unique false.
+	}
+	return res, nil
+}
+
+func extractTuples(s *sat.Solver, x [][]int, cfg Config) []Tuple {
+	out := make([]Tuple, 0, len(x))
+	for _, row := range x {
+		for c, v := range row {
+			if s.Value(v) {
+				out = append(out, cfg.cellTuple(c))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MultisetIntersection returns the number of tuples shared between two
+// multisets.
+func MultisetIntersection(a, b []Tuple) int {
+	count := map[Tuple]int{}
+	for _, t := range a {
+		count[t]++
+	}
+	n := 0
+	for _, t := range b {
+		if count[t] > 0 {
+			count[t]--
+			n++
+		}
+	}
+	return n
+}
+
+// Summary aggregates a reconstruction run.
+type Summary struct {
+	Blocks        int
+	Solved        int
+	Unique        int
+	Persons       int
+	ExactRecords  int     // tuples reconstructed exactly (multiset match)
+	ExactFraction float64 // ExactRecords / Persons
+}
+
+// Reconstruct runs the attack over all blocks of honestly tabulated data
+// and scores it against the ground truth.
+func Reconstruct(pop *dataset.Dataset, cfg Config, maxConflictsPerBlock int64) ([]BlockResult, Summary, error) {
+	return ReconstructTables(Tabulate(pop, cfg), TrueTuples(pop, cfg), cfg, maxConflictsPerBlock)
+}
+
+// SizeBucket labels a block-size range in the vulnerability breakdown.
+type SizeBucket struct {
+	Lo, Hi int // inclusive block-size range
+	Blocks int
+	// Persons and ExactRecords accumulate over solved blocks in range.
+	Persons      int
+	ExactRecords int
+	Unique       int
+}
+
+// ExactFraction returns the fraction of persons reconstructed exactly in
+// this bucket.
+func (b SizeBucket) ExactFraction() float64 {
+	if b.Persons == 0 {
+		return 0
+	}
+	return float64(b.ExactRecords) / float64(b.Persons)
+}
+
+// SummaryBySize breaks reconstruction quality down by block size — the
+// Census Bureau's own finding was that small blocks are the most exposed.
+func SummaryBySize(results []BlockResult) []SizeBucket {
+	buckets := []SizeBucket{{Lo: 1, Hi: 2}, {Lo: 3, Hi: 5}, {Lo: 6, Hi: 9}, {Lo: 10, Hi: 1 << 30}}
+	for _, r := range results {
+		if r.Size == 0 {
+			continue
+		}
+		for i := range buckets {
+			if r.Size >= buckets[i].Lo && r.Size <= buckets[i].Hi {
+				buckets[i].Blocks++
+				if r.Solved {
+					buckets[i].Persons += r.Size
+					buckets[i].ExactRecords += r.Exact
+				}
+				if r.Unique {
+					buckets[i].Unique++
+				}
+				break
+			}
+		}
+	}
+	return buckets
+}

@@ -1,0 +1,260 @@
+package census
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"singlingout/internal/synth"
+)
+
+func TestCellIDRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(sexRaw, buckRaw, raceRaw, ethRaw uint8) bool {
+		tu := Tuple{
+			Sex:       int(sexRaw) % 2,
+			AgeBucket: int(buckRaw) % cfg.Buckets(),
+			Race:      int(raceRaw) % 6,
+			Ethnicity: int(ethRaw) % 2,
+		}
+		id := cfg.cellID(tu)
+		return id >= 0 && id < cfg.numCells() && cfg.cellTuple(id) == tu
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTabulateConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 500, ZIPs: 3, BlocksPerZIP: 10})
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+	total := 0
+	for _, bt := range tables {
+		total += bt.Total
+		sexAgeSum, raceEtSum, sexRcSum := 0, 0, 0
+		for _, c := range bt.SexAge {
+			sexAgeSum += c
+		}
+		for _, c := range bt.RaceEt {
+			raceEtSum += c
+		}
+		for _, c := range bt.SexRc {
+			sexRcSum += c
+		}
+		if sexAgeSum != bt.Total || raceEtSum != bt.Total || sexRcSum != bt.Total {
+			t.Fatalf("block %d: marginals %d/%d/%d != total %d", bt.Block, sexAgeSum, raceEtSum, sexRcSum, bt.Total)
+		}
+	}
+	if total != pop.Len() {
+		t.Errorf("tabulated %d persons, want %d", total, pop.Len())
+	}
+}
+
+func TestReconstructSingletonBlockIsExact(t *testing.T) {
+	cfg := DefaultConfig()
+	truth := Tuple{Sex: 1, AgeBucket: 3, Race: 2, Ethnicity: 0}
+	bt := BlockTables{
+		Block: 7, Total: 1,
+		SexAge: map[[2]int]int{{1, 3}: 1},
+		RaceEt: map[[2]int]int{{2, 0}: 1},
+		SexRc:  map[[2]int]int{{1, 2}: 1},
+	}
+	res, err := ReconstructBlock(bt, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || !res.Unique {
+		t.Fatalf("singleton block should be solved uniquely: %+v", res)
+	}
+	if len(res.Tuples) != 1 || res.Tuples[0] != truth {
+		t.Errorf("reconstructed %+v, want %+v", res.Tuples, truth)
+	}
+}
+
+func TestReconstructEmptyBlock(t *testing.T) {
+	res, err := ReconstructBlock(BlockTables{Block: 1}, DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || !res.Unique || len(res.Tuples) != 0 {
+		t.Errorf("empty block: %+v", res)
+	}
+}
+
+func TestMultisetIntersection(t *testing.T) {
+	a := []Tuple{{Sex: 1}, {Sex: 1}, {Sex: 0}}
+	b := []Tuple{{Sex: 1}, {Sex: 0}, {Sex: 0}}
+	if got := MultisetIntersection(a, b); got != 2 {
+		t.Errorf("intersection = %d, want 2", got)
+	}
+	if got := MultisetIntersection(nil, b); got != 0 {
+		t.Errorf("empty intersection = %d", got)
+	}
+}
+
+func TestReconstructPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 150, ZIPs: 3, BlocksPerZIP: 12})
+	cfg := DefaultConfig()
+	results, sum, err := Reconstruct(pop, cfg, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Blocks == 0 || sum.Persons != 150 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.Solved != sum.Blocks {
+		t.Errorf("solved %d of %d blocks", sum.Solved, sum.Blocks)
+	}
+	// The published tables strongly constrain small blocks: a large share
+	// of records must be reconstructed exactly (the paper reports 46%
+	// exact for the full 2010 data with far richer tables).
+	if sum.ExactFraction < 0.5 {
+		t.Errorf("exact fraction = %v, want >= 0.5", sum.ExactFraction)
+	}
+	truth := TrueTuples(pop, cfg)
+	for _, r := range results {
+		if !r.Solved {
+			continue
+		}
+		// Reconstruction must reproduce the published tables exactly.
+		want := truth[r.Block]
+		if len(r.Tuples) != len(want) {
+			t.Fatalf("block %d: %d tuples, want %d", r.Block, len(r.Tuples), len(want))
+		}
+		recTables := tablesFromTuples(r.Block, r.Tuples)
+		origTables := tablesFromTuples(r.Block, want)
+		if !tablesEqual(recTables, origTables) {
+			t.Fatalf("block %d: reconstructed tables differ from published", r.Block)
+		}
+		// Uniqueness implies exactness: the true assignment is always a
+		// model, so a unique model must be the truth.
+		if r.Unique && r.Exact != r.Size {
+			t.Errorf("block %d unique but only %d/%d exact", r.Block, r.Exact, r.Size)
+		}
+	}
+}
+
+func tablesFromTuples(block int64, ts []Tuple) BlockTables {
+	bt := BlockTables{Block: block, SexAge: map[[2]int]int{}, RaceEt: map[[2]int]int{}, SexRc: map[[2]int]int{}}
+	for _, t := range ts {
+		bt.Total++
+		bt.SexAge[[2]int{t.Sex, t.AgeBucket}]++
+		bt.RaceEt[[2]int{t.Race, t.Ethnicity}]++
+		bt.SexRc[[2]int{t.Sex, t.Race}]++
+	}
+	return bt
+}
+
+func tablesEqual(a, b BlockTables) bool {
+	if a.Total != b.Total || len(a.SexAge) != len(b.SexAge) || len(a.RaceEt) != len(b.RaceEt) || len(a.SexRc) != len(b.SexRc) {
+		return false
+	}
+	for k, v := range a.SexAge {
+		if b.SexAge[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.RaceEt {
+		if b.RaceEt[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.SexRc {
+		if b.SexRc[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLinkageReIdentifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 120, ZIPs: 3, BlocksPerZIP: 15})
+	cfg := DefaultConfig()
+	results, _, err := Reconstruct(pop, cfg, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := synth.Registry(rng, pop, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Linkage(pop, reg, results, cfg)
+	if sum.Persons == 0 {
+		t.Fatal("no persons linked")
+	}
+	if sum.Confirmed > sum.Putative || sum.Putative > sum.Persons {
+		t.Fatalf("inconsistent linkage summary %+v", sum)
+	}
+	// With full registry coverage and small blocks, a sizable share of
+	// the population should be putatively re-identified and a nontrivial
+	// share confirmed (the paper reports 17% confirmed at national scale).
+	if sum.PutativeRate() < 0.3 {
+		t.Errorf("putative rate = %v, want >= 0.3: %+v", sum.PutativeRate(), sum)
+	}
+	if sum.ConfirmedRate() <= 0.05 {
+		t.Errorf("confirmed rate = %v, want > 0.05: %+v", sum.ConfirmedRate(), sum)
+	}
+	// Lower registry coverage must not increase re-identification.
+	regHalf, _ := synth.Registry(rng, pop, 0.3)
+	sumHalf := Linkage(pop, regHalf, results, cfg)
+	if sumHalf.Putative > sum.Putative {
+		t.Errorf("lower coverage produced more putative matches: %d > %d", sumHalf.Putative, sum.Putative)
+	}
+	var zero LinkageSummary
+	if zero.PutativeRate() != 0 || zero.ConfirmedRate() != 0 {
+		t.Error("zero summary rates should be 0")
+	}
+}
+
+func TestReconstructBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 60, ZIPs: 1, BlocksPerZIP: 2})
+	// A conflict budget of 1 should leave large blocks unsolved (but not
+	// error).
+	_, sum, err := Reconstruct(pop, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Solved == sum.Blocks {
+		t.Skip("blocks solved without conflicts; budget test not applicable at this seed")
+	}
+}
+
+func TestSummaryBySize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 200, ZIPs: 3, BlocksPerZIP: 15})
+	results, _, err := Reconstruct(pop, DefaultConfig(), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := SummaryBySize(results)
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	totalBlocks, totalPersons := 0, 0
+	for _, b := range buckets {
+		totalBlocks += b.Blocks
+		totalPersons += b.Persons
+		if f := b.ExactFraction(); f < 0 || f > 1 {
+			t.Errorf("bucket %d-%d exact fraction %v", b.Lo, b.Hi, f)
+		}
+	}
+	if totalBlocks == 0 || totalPersons != 200 {
+		t.Errorf("blocks=%d persons=%d", totalBlocks, totalPersons)
+	}
+	// Small blocks must not be less exactly reconstructed than the largest
+	// bucket (the census finding).
+	if buckets[0].Persons > 0 && buckets[3].Persons > 0 &&
+		buckets[0].ExactFraction() < buckets[3].ExactFraction() {
+		t.Errorf("tiny blocks (%.2f) should be at least as exposed as big ones (%.2f)",
+			buckets[0].ExactFraction(), buckets[3].ExactFraction())
+	}
+	var zero SizeBucket
+	if zero.ExactFraction() != 0 {
+		t.Error("zero bucket fraction should be 0")
+	}
+}

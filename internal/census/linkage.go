@@ -1,0 +1,87 @@
+package census
+
+import (
+	"singlingout/internal/dataset"
+	"singlingout/internal/synth"
+)
+
+// LinkageSummary aggregates the re-identification step of the census
+// attack: reconstructed records are matched against an identified registry
+// on (block, sex, age bucket); a unique match is a putative
+// re-identification, confirmed when the matched person's true record also
+// agrees on the attributes the registry does not hold (race, ethnicity).
+// These are the "putative" and "confirmed" categories of the Census
+// Bureau's own assessment of the attack ([7]).
+type LinkageSummary struct {
+	// Persons is the number of reconstructed records attempted.
+	Persons int
+	// Putative counts unique (block, sex, age-bucket) registry matches.
+	Putative int
+	// Confirmed counts putative matches whose full reconstructed tuple
+	// equals the matched person's ground truth.
+	Confirmed int
+}
+
+// PutativeRate returns Putative / Persons.
+func (l LinkageSummary) PutativeRate() float64 {
+	if l.Persons == 0 {
+		return 0
+	}
+	return float64(l.Putative) / float64(l.Persons)
+}
+
+// ConfirmedRate returns Confirmed / Persons.
+func (l LinkageSummary) ConfirmedRate() float64 {
+	if l.Persons == 0 {
+		return 0
+	}
+	return float64(l.Confirmed) / float64(l.Persons)
+}
+
+// Linkage re-identifies reconstructed block records against the registry.
+func Linkage(pop, reg *dataset.Dataset, results []BlockResult, cfg Config) LinkageSummary {
+	pid := reg.Schema.MustIndex(synth.RegistryPersonID)
+	rBd := reg.Schema.MustIndex(synth.AttrBirthDate)
+	rSex := reg.Schema.MustIndex(synth.AttrSex)
+	rBlock := reg.Schema.MustIndex(synth.AttrBlock)
+	pSex := pop.Schema.MustIndex(synth.AttrSex)
+	pAge := pop.Schema.MustIndex(synth.AttrAge)
+	pRace := pop.Schema.MustIndex(synth.AttrRace)
+	pEth := pop.Schema.MustIndex(synth.AttrEthnicity)
+
+	// Index registry rows by (block, sex, ageBucket).
+	type key struct {
+		block int64
+		sex   int
+		buck  int
+	}
+	idx := map[key][]int64{}
+	for _, row := range reg.Rows {
+		age := int((synth.BirthDateMax - row[rBd]) / 365)
+		k := key{block: row[rBlock], sex: int(row[rSex]), buck: age / cfg.bucketWidth()}
+		idx[k] = append(idx[k], row[pid])
+	}
+
+	var sum LinkageSummary
+	for _, br := range results {
+		if !br.Solved {
+			continue
+		}
+		for _, t := range br.Tuples {
+			sum.Persons++
+			cands := idx[key{block: br.Block, sex: t.Sex, buck: t.AgeBucket}]
+			if len(cands) != 1 {
+				continue
+			}
+			sum.Putative++
+			person := pop.Rows[cands[0]]
+			if int(person[pSex]) == t.Sex &&
+				int(person[pAge])/cfg.bucketWidth() == t.AgeBucket &&
+				int(person[pRace]) == t.Race &&
+				int(person[pEth]) == t.Ethnicity {
+				sum.Confirmed++
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Hierarchy describes a value-generalization hierarchy for one attribute,
+// in the style used by full-domain generalization k-anonymizers (Samarati,
+// Sweeney, Datafly). Level 0 is the raw value; higher levels are coarser.
+// At the top level every value maps to a single group ("*").
+type Hierarchy interface {
+	// Levels returns the number of generalization levels, including the
+	// identity level 0. Levels() >= 1.
+	Levels() int
+	// GroupOf maps a raw cell value to its group id at the given level.
+	// Level 0 is the identity mapping.
+	GroupOf(v int64, level int) int64
+	// Label renders a group id at a level for display.
+	Label(group int64, level int) string
+	// GroupSize returns how many raw domain values map to the given group
+	// at the given level. It is the denominator of generalization-induced
+	// predicate weights.
+	GroupSize(group int64, level int) int64
+}
+
+// IntRangeHierarchy generalizes an integer attribute by snapping values to
+// aligned intervals of increasing width. Widths[l] is the interval width at
+// level l+1 (level 0 is raw). The final width should cover the whole
+// domain, producing the fully suppressed "*" level.
+type IntRangeHierarchy struct {
+	Min, Max int64
+	Widths   []int64
+}
+
+// NewIntRangeHierarchy validates and builds an integer range hierarchy.
+// Widths must be strictly increasing and positive.
+func NewIntRangeHierarchy(min, max int64, widths ...int64) (*IntRangeHierarchy, error) {
+	if min > max {
+		return nil, fmt.Errorf("dataset: empty domain [%d,%d]", min, max)
+	}
+	prev := int64(1)
+	for i, w := range widths {
+		if w <= prev {
+			return nil, fmt.Errorf("dataset: hierarchy widths must be strictly increasing; width %d at index %d", w, i)
+		}
+		prev = w
+	}
+	return &IntRangeHierarchy{Min: min, Max: max, Widths: widths}, nil
+}
+
+// Levels implements Hierarchy.
+func (h *IntRangeHierarchy) Levels() int { return len(h.Widths) + 1 }
+
+func (h *IntRangeHierarchy) width(level int) int64 {
+	if level == 0 {
+		return 1
+	}
+	return h.Widths[level-1]
+}
+
+// GroupOf implements Hierarchy.
+func (h *IntRangeHierarchy) GroupOf(v int64, level int) int64 {
+	return (v - h.Min) / h.width(level)
+}
+
+// Bounds returns the inclusive raw-value interval covered by a group at a
+// level, clipped to the attribute domain.
+func (h *IntRangeHierarchy) Bounds(group int64, level int) (lo, hi int64) {
+	w := h.width(level)
+	lo = h.Min + group*w
+	hi = lo + w - 1
+	if hi > h.Max {
+		hi = h.Max
+	}
+	return lo, hi
+}
+
+// Label implements Hierarchy.
+func (h *IntRangeHierarchy) Label(group int64, level int) string {
+	lo, hi := h.Bounds(group, level)
+	if lo == h.Min && hi == h.Max {
+		return "*"
+	}
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+// GroupSize implements Hierarchy.
+func (h *IntRangeHierarchy) GroupSize(group int64, level int) int64 {
+	lo, hi := h.Bounds(group, level)
+	return hi - lo + 1
+}
+
+// TreeHierarchy generalizes a categorical attribute along a tree given as a
+// fixed-length path of group names for every category, leaf first. All
+// paths must have the same length. For example, a disease hierarchy:
+//
+//	COVID  -> PULM -> *
+//	CF     -> PULM -> *
+//	Flu    -> PULM -> *
+//	Crohn  -> GI   -> *
+//
+// (three levels: raw, organ system, suppressed).
+type TreeHierarchy struct {
+	levels []map[string]int64 // group name -> id per level >= 1
+	names  [][]string         // group id -> name per level >= 1
+	groups [][]int64          // category -> group id per level >= 1
+	sizes  [][]int64          // group id -> #categories per level >= 1
+	nCats  int
+}
+
+// NewTreeHierarchy builds a tree hierarchy. paths[i] is the generalization
+// path of category i, excluding the raw value itself; paths[i][l] is the
+// group name of category i at level l+1.
+func NewTreeHierarchy(paths [][]string) (*TreeHierarchy, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dataset: tree hierarchy needs at least one category")
+	}
+	depth := len(paths[0])
+	if depth == 0 {
+		return nil, fmt.Errorf("dataset: tree hierarchy paths must be non-empty")
+	}
+	h := &TreeHierarchy{nCats: len(paths)}
+	h.levels = make([]map[string]int64, depth)
+	h.names = make([][]string, depth)
+	h.groups = make([][]int64, depth)
+	h.sizes = make([][]int64, depth)
+	for l := 0; l < depth; l++ {
+		h.levels[l] = map[string]int64{}
+		h.groups[l] = make([]int64, len(paths))
+	}
+	for ci, path := range paths {
+		if len(path) != depth {
+			return nil, fmt.Errorf("dataset: category %d path depth %d, want %d", ci, len(path), depth)
+		}
+		for l, name := range path {
+			id, ok := h.levels[l][name]
+			if !ok {
+				id = int64(len(h.names[l]))
+				h.levels[l][name] = id
+				h.names[l] = append(h.names[l], name)
+				h.sizes[l] = append(h.sizes[l], 0)
+			}
+			h.groups[l][ci] = id
+			h.sizes[l][id]++
+		}
+	}
+	return h, nil
+}
+
+// MustTreeHierarchy is NewTreeHierarchy that panics on error.
+func MustTreeHierarchy(paths [][]string) *TreeHierarchy {
+	h, err := NewTreeHierarchy(paths)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Levels implements Hierarchy.
+func (h *TreeHierarchy) Levels() int { return len(h.groups) + 1 }
+
+// GroupOf implements Hierarchy.
+func (h *TreeHierarchy) GroupOf(v int64, level int) int64 {
+	if level == 0 {
+		return v
+	}
+	return h.groups[level-1][v]
+}
+
+// Label implements Hierarchy.
+func (h *TreeHierarchy) Label(group int64, level int) string {
+	if level == 0 {
+		return fmt.Sprintf("cat#%d", group)
+	}
+	return h.names[level-1][group]
+}
+
+// GroupSize implements Hierarchy.
+func (h *TreeHierarchy) GroupSize(group int64, level int) int64 {
+	if level == 0 {
+		return 1
+	}
+	return h.sizes[level-1][group]
+}

@@ -1,0 +1,152 @@
+// Package diffix re-implements the anonymizing query interface attacked
+// by Cohen and Nissim in "Linear Program Reconstruction in Practice" ([13]
+// in the paper): a Diffix-style "cloak" that answers counting queries with
+// sticky noise (the same query always gets the same noise, to block
+// averaging attacks) and refuses to answer queries over small user sets
+// (low-count suppression). The package then demonstrates that these two
+// defenses do not prevent linear-program reconstruction of the protected
+// attribute.
+package diffix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"singlingout/internal/query"
+	"singlingout/internal/recon"
+)
+
+// ErrSuppressed is returned for queries over too few users (low-count
+// suppression).
+var ErrSuppressed = errors.New("diffix: bucket suppressed (too few users)")
+
+// Cloak is the anonymizing query interface. It implements query.Oracle,
+// so the reconstruction attacks in package recon run against it
+// unchanged.
+type Cloak struct {
+	// X is the protected binary attribute per user.
+	X []int64
+	// SD is the sticky noise standard deviation (Diffix layers a few
+	// Gaussian noise terms; we model their sum).
+	SD float64
+	// Threshold is the low-count suppression bound: queries naming fewer
+	// users are refused.
+	Threshold int
+	// Seed keys the sticky-noise PRF.
+	Seed int64
+
+	// Queries counts answered queries (statistic).
+	Queries int
+	// Suppressed counts refused queries (statistic).
+	Suppressed int
+}
+
+// N implements query.Oracle.
+func (c *Cloak) N() int { return len(c.X) }
+
+// SubsetSum implements query.Oracle: it answers the count of flagged
+// users among q with sticky noise, or refuses with ErrSuppressed.
+func (c *Cloak) SubsetSum(q []int) (float64, error) {
+	if len(q) < c.Threshold {
+		c.Suppressed++
+		return 0, fmt.Errorf("%w: %d < %d", ErrSuppressed, len(q), c.Threshold)
+	}
+	var sum int64
+	h := uint64(c.Seed)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	for _, i := range q {
+		if i < 0 || i >= len(c.X) {
+			return 0, fmt.Errorf("diffix: user %d out of range", i)
+		}
+		sum += c.X[i]
+		// Order-independent sticky hash of the query set: queries are
+		// canonical (sorted index sets), so mixing sequentially is stable.
+		h ^= (uint64(i) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+		h *= 0x94d049bb133111eb
+	}
+	c.Queries++
+	// Sticky noise: deterministic in the query set.
+	rng := rand.New(rand.NewSource(int64(h)))
+	return float64(sum) + rng.NormFloat64()*c.SD, nil
+}
+
+// AttackResult summarizes a reconstruction attack against a Cloak.
+type AttackResult struct {
+	// QueriesIssued is the number of answered queries used.
+	QueriesIssued int
+	// HammingError is the fraction of users whose protected bit was
+	// reconstructed incorrectly.
+	HammingError float64
+	// MeanAbsResidual is the LP's mean per-query violation (diagnostic).
+	MeanAbsResidual float64
+}
+
+// Attack mounts the Cohen–Nissim LP reconstruction: it issues m random
+// subset queries that are large enough to evade suppression, then solves
+// the L1-fitting linear program for the protected bits.
+func Attack(rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
+	n := c.N()
+	if m <= 0 {
+		return AttackResult{}, nil, fmt.Errorf("diffix: need a positive query count")
+	}
+	queries := make([][]int, 0, m)
+	for len(queries) < m {
+		var q []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				q = append(q, i)
+			}
+		}
+		if len(q) < c.Threshold {
+			continue // would be suppressed; the attacker skips it
+		}
+		queries = append(queries, q)
+	}
+	guess, frac, err := recon.LPDecode(c, queries, recon.L1Slack)
+	if err != nil {
+		return AttackResult{}, nil, fmt.Errorf("diffix: %w", err)
+	}
+	res := AttackResult{
+		QueriesIssued: len(queries),
+		HammingError:  recon.HammingError(c.X, guess),
+	}
+	// Residual diagnostic: replay the sticky answers against the LP's
+	// fractional solution.
+	var resid float64
+	for _, q := range queries {
+		a, err := c.SubsetSum(q) // sticky: same answer as during the attack
+		if err != nil {
+			return AttackResult{}, nil, err
+		}
+		s := 0.0
+		for _, i := range q {
+			s += frac[i]
+		}
+		resid += math.Abs(a - s)
+	}
+	res.MeanAbsResidual = resid / float64(len(queries))
+	return res, guess, nil
+}
+
+// StickinessCheck verifies the averaging defense: issuing the same query
+// repeatedly must return the identical answer. It returns an error if two
+// answers differ (which would indicate the defense is broken).
+func StickinessCheck(c *Cloak, q []int, repeats int) error {
+	first, err := c.SubsetSum(q)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < repeats; i++ {
+		a, err := c.SubsetSum(q)
+		if err != nil {
+			return err
+		}
+		if a != first {
+			return fmt.Errorf("diffix: sticky noise broken: %v != %v", a, first)
+		}
+	}
+	return nil
+}
+
+var _ query.Oracle = (*Cloak)(nil)

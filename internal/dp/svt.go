@@ -1,0 +1,74 @@
+package dp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"singlingout/internal/dist"
+)
+
+// SparseVector implements the Sparse Vector Technique (AboveThreshold):
+// it answers an adaptive stream of threshold queries "is this count above
+// T?" and consumes privacy budget only for the (at most C) positive
+// answers, rather than for every query. It is the classic way to support
+// very long interactive query sequences — exactly the regime where the
+// paper's Theorem 2.8 composition attack defeats exact counts — at a
+// bounded total privacy cost.
+type SparseVector struct {
+	rng       *rand.Rand
+	eps       float64
+	threshold float64
+	noisyT    float64
+	remaining int
+	exhausted bool
+}
+
+// NewSparseVector creates an AboveThreshold instance with total privacy
+// budget eps, public threshold T, and an allowance of maxPositive
+// above-threshold answers. The standard split devotes eps/2 to the
+// threshold and eps/2 across positive answers.
+func NewSparseVector(rng *rand.Rand, eps, threshold float64, maxPositive int) (*SparseVector, error) {
+	if !(eps > 0) {
+		return nil, fmt.Errorf("dp: sparse vector needs positive epsilon, got %v", eps)
+	}
+	if maxPositive <= 0 {
+		return nil, fmt.Errorf("dp: sparse vector needs a positive answer allowance, got %d", maxPositive)
+	}
+	sv := &SparseVector{
+		rng:       rng,
+		eps:       eps,
+		threshold: threshold,
+		remaining: maxPositive,
+	}
+	sv.noisyT = threshold + dist.Laplace(rng, 2/eps)
+	return sv, nil
+}
+
+// ErrBudgetSpent is returned by Above once the positive-answer allowance
+// is exhausted.
+var ErrBudgetSpent = fmt.Errorf("dp: sparse vector allowance exhausted")
+
+// Above answers one sensitivity-1 threshold query: it returns whether the
+// noisy count exceeds the noisy threshold. After a positive answer the
+// threshold is re-noised; after maxPositive positives the mechanism stops
+// answering.
+func (sv *SparseVector) Above(trueCount int64) (bool, error) {
+	if sv.exhausted {
+		return false, ErrBudgetSpent
+	}
+	c := float64(sv.remaining)
+	noisy := float64(trueCount) + dist.Laplace(sv.rng, 4*c/sv.eps)
+	if noisy < sv.noisyT {
+		return false, nil
+	}
+	sv.remaining--
+	if sv.remaining == 0 {
+		sv.exhausted = true
+	} else {
+		sv.noisyT = sv.threshold + dist.Laplace(sv.rng, 2/sv.eps)
+	}
+	return true, nil
+}
+
+// Remaining returns how many positive answers the allowance still admits.
+func (sv *SparseVector) Remaining() int { return sv.remaining }

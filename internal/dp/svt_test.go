@@ -1,0 +1,93 @@
+package dp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSparseVectorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewSparseVector(rng, 0, 10, 1); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := NewSparseVector(rng, 1, 10, 0); err == nil {
+		t.Error("maxPositive=0 should fail")
+	}
+}
+
+func TestSparseVectorSeparatesFarCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const trials = 2000
+	correct := 0
+	for i := 0; i < trials; i++ {
+		sv, err := NewSparseVector(rng, 4, 50, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Far below threshold: should answer false.
+		below, err := sv.Above(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !below {
+			correct++
+		}
+	}
+	if frac := float64(correct) / trials; frac < 0.95 {
+		t.Errorf("far-below accuracy = %v, want >= 0.95", frac)
+	}
+	correct = 0
+	for i := 0; i < trials; i++ {
+		sv, _ := NewSparseVector(rng, 4, 50, 1)
+		above, err := sv.Above(90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			correct++
+		}
+	}
+	if frac := float64(correct) / trials; frac < 0.95 {
+		t.Errorf("far-above accuracy = %v, want >= 0.95", frac)
+	}
+}
+
+func TestSparseVectorAllowance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sv, _ := NewSparseVector(rng, 8, 10, 2)
+	positives := 0
+	for i := 0; i < 1000 && positives < 2; i++ {
+		above, err := sv.Above(1000) // far above: almost surely positive
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above {
+			positives++
+		}
+	}
+	if positives != 2 {
+		t.Fatalf("positives = %d, want 2", positives)
+	}
+	if sv.Remaining() != 0 {
+		t.Errorf("Remaining = %d", sv.Remaining())
+	}
+	if _, err := sv.Above(1000); !errors.Is(err, ErrBudgetSpent) {
+		t.Errorf("want allowance exhaustion, got %v", err)
+	}
+}
+
+func TestSparseVectorManyNegativesFree(t *testing.T) {
+	// The point of SVT: unlimited below-threshold answers under one
+	// allowance.
+	rng := rand.New(rand.NewSource(4))
+	sv, _ := NewSparseVector(rng, 2, 100, 1)
+	for i := 0; i < 5000; i++ {
+		if _, err := sv.Above(5); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if sv.Remaining() != 1 && sv.Remaining() != 0 {
+		t.Errorf("Remaining = %d", sv.Remaining())
+	}
+}

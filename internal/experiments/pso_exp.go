@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/dist"
+	"singlingout/internal/kanon"
+	"singlingout/internal/legal"
+	"singlingout/internal/pso"
+	"singlingout/internal/synth"
+)
+
+// E04BirthdayIsolation reproduces the paper's Section 2.2 worked example:
+// a fixed-date predicate over 365 uniform birthdays isolates with
+// probability ≈ 1/e ≈ 37%.
+func E04BirthdayIsolation(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	trials := 4000
+	if quick {
+		trials = 800
+	}
+	cfg := pso.BirthdayConfig(1e-6, trials)
+	mech := pso.Count{Q: pso.Equality{Attr: 0, Value: 0, Weight: 1.0 / pso.BirthdayDomain}}
+	res, err := pso.Run(rng, cfg, mech, pso.Birthday{Attr: 0, Min: 0, Domain: pso.BirthdayDomain})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E04",
+		Title:  fmt.Sprintf("birthday worked example, n=365 uniform birthdays, %d trials", trials),
+		Header: []string{"quantity", "measured", "paper"},
+		Notes: []string{
+			"the predicate has weight 1/365 — far from negligible — so these isolations are NOT predicate singling out",
+		},
+	}
+	t.AddRow("isolation probability", pct(res.IsolationRate()), "≈37%")
+	t.AddRow("PSO successes (weight ≤ 1e-6)", pct(res.SuccessRate()), "0%")
+	t.AddRow("closed form n·w·(1-w)^(n-1)", pct(dist.IsolationProb(365, 1.0/365)), "≈37%")
+	return t, nil
+}
+
+// E05IsolationCurve sweeps the predicate weight and compares the measured
+// isolation frequency to the closed form, exposing the two negligible
+// regimes (w tiny and w = ω(log n / n)).
+func E05IsolationCurve(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 365
+	trials := 30000
+	if quick {
+		trials = 6000
+	}
+	t := &Table{
+		ID:     "E05",
+		Title:  fmt.Sprintf("isolation probability vs predicate weight, n=%d, %d trials per point", n, trials),
+		Header: []string{"weight w", "n·w", "empirical Pr[isolate]", "closed form", "approx n·w·e^{-n·w}"},
+		Notes:  []string{"peak ≈ 1/e at w = 1/n; negligible at both tails — the shape behind Definition 2.4"},
+	}
+	for _, w := range []float64{1e-5, 1e-4, 1e-3, 1.0 / 365, 5e-3, 2e-2, 5e-2} {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			ones := 0
+			for i := 0; i < n; i++ {
+				if rng.Float64() < w {
+					ones++
+					if ones > 1 {
+						break
+					}
+				}
+			}
+			if ones == 1 {
+				hits++
+			}
+		}
+		emp := float64(hits) / float64(trials)
+		t.AddRow(g3(w), g3(float64(n)*w), f3(emp), f3(dist.IsolationProb(n, w)), f3(dist.IsolationProbApprox(n, w)))
+	}
+	return t, nil
+}
+
+// surveyConfig builds the high-dimensional PSO experiment population.
+func surveyConfig(n, trials int) (pso.Config, synth.SurveyConfig) {
+	scfg := synth.SurveyConfig{Questions: 40, Skew: 0.8}
+	return pso.Config{
+		N:      n,
+		Schema: synth.SurveySchema(scfg),
+		Sample: synth.SurveySampler(scfg),
+		Tau:    1e-4,
+		Trials: trials,
+	}, scfg
+}
+
+func surveyQI(schema *dataset.Schema) []int {
+	qi := make([]int, len(schema.Attrs))
+	for i := range qi {
+		qi[i] = i
+	}
+	return qi
+}
+
+// E06CountPSOSecurity runs the Theorem 2.5 experiment: the exact count
+// mechanism M#q resists the full (non-adaptive) attack suite.
+func E06CountPSOSecurity(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	trials := 600
+	if quick {
+		trials = 150
+	}
+	cfg := pso.BirthdayConfig(math.Pow(2, -20), trials)
+	mech := pso.Count{Q: pso.Equality{Attr: 0, Value: 42, Weight: 1.0 / pso.BirthdayDomain}}
+	t := &Table{
+		ID:     "E06",
+		Title:  fmt.Sprintf("count mechanism M#q vs attack suite, n=365, %d trials", trials),
+		Header: []string{"attacker", "PSO success", "isolations (any weight)", "baseline", "prevents PSO?"},
+		Notes:  []string{"Thm 2.5: a single exact count prevents predicate singling out"},
+	}
+	for _, a := range []pso.Attacker{
+		pso.Baseline{Depth: 20},
+		pso.Birthday{Attr: 0, Min: 0, Domain: pso.BirthdayDomain},
+	} {
+		res, err := pso.Run(rng, cfg, mech, a)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(res.Attacker, pct(res.SuccessRate()), pct(res.IsolationRate()), g3(res.BaselineRate), yesNo(res.PreventsPSO()))
+	}
+	return t, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// E07PostProcessing runs the Theorem 2.6 experiment: arbitrary
+// post-processing of a PSO-secure mechanism stays PSO-secure.
+func E07PostProcessing(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	trials := 600
+	if quick {
+		trials = 150
+	}
+	cfg := pso.BirthdayConfig(math.Pow(2, -20), trials)
+	base := pso.Count{Q: pso.Equality{Attr: 0, Value: 42, Weight: 1.0 / pso.BirthdayDomain}}
+	t := &Table{
+		ID:     "E07",
+		Title:  fmt.Sprintf("post-processing robustness, n=365, %d trials", trials),
+		Header: []string{"mechanism", "PSO success", "baseline", "prevents PSO?"},
+		Notes:  []string{"Thm 2.6: privacy loss cannot increase by post-processing"},
+	}
+	mechs := []pso.Mechanism{
+		base,
+		pso.PostProcess{Inner: base, Name: "scale", F: func(y any) any { return y.(int) * 1000 }},
+		pso.PostProcess{Inner: base, Name: "threshold", F: func(y any) any { return y.(int) > 180 }},
+		pso.PostProcess{Inner: base, Name: "constant", F: func(any) any { return 0 }},
+	}
+	for _, m := range mechs {
+		res, err := pso.Run(rng, cfg, m, pso.Baseline{Depth: 20})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(res.Mechanism, pct(res.SuccessRate()), g3(res.BaselineRate), yesNo(res.PreventsPSO()))
+	}
+	return t, nil
+}
+
+// E08CompositionAttack runs the Theorem 2.8 experiment across dataset
+// sizes: ℓ = ω(log n) exact count queries single out almost always.
+func E08CompositionAttack(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ns := []int{250, 500, 1000}
+	trials := 60
+	if quick {
+		ns = []int{250, 500}
+		trials = 25
+	}
+	scfg := synth.SurveyConfig{Questions: 8, Skew: 0.8}
+	t := &Table{
+		ID:     "E08",
+		Title:  "composition of exact count mechanisms vs prefix-descent attack (predicate weight 2^-40)",
+		Header: []string{"n", "ℓ (queries)", "PSO success", "baseline", "prevents PSO?"},
+		Notes: []string{
+			"Thm 2.8: each count alone is PSO-secure (E06); ω(log n) of them compose into an attack",
+			"Thm 2.5/2.8 tension is why PSO security cannot compose while counts are deemed secure",
+		},
+	}
+	for _, n := range ns {
+		depth := 40
+		cfg := pso.Config{
+			N: n, Schema: synth.SurveySchema(scfg), Sample: synth.SurveySampler(scfg),
+			Tau: math.Pow(2, -30), Trials: trials,
+		}
+		att := pso.PrefixDescent{TargetDepth: depth}
+		res, err := pso.Run(rng, cfg, pso.InteractiveCounts{Limit: att.Queries()}, att)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", att.Queries()), pct(res.SuccessRate()), g3(res.BaselineRate), yesNo(res.PreventsPSO()))
+	}
+	return t, nil
+}
+
+// E09DPPSOSecurity runs the Theorem 2.9 experiment: the same composition
+// attack against epsilon-DP noisy counts collapses once epsilon is small,
+// with a visible crossover as epsilon grows.
+func E09DPPSOSecurity(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, trials := 500, 60
+	if quick {
+		trials = 25
+	}
+	scfg := synth.SurveyConfig{Questions: 8, Skew: 0.8}
+	t := &Table{
+		ID:     "E09",
+		Title:  fmt.Sprintf("prefix-descent attack vs ε-DP Laplace counts, n=%d, %d trials", n, trials),
+		Header: []string{"per-query ε", "PSO success", "baseline", "prevents PSO?"},
+		Notes: []string{
+			"Thm 2.9: ε-DP (constant ε) prevents predicate singling out; large ε approximates exact counts",
+		},
+	}
+	att := pso.PrefixDescent{TargetDepth: 40}
+	for _, eps := range []float64{0.05, 0.1, 0.5, 1, 10, 0 /* exact */} {
+		cfg := pso.Config{
+			N: n, Schema: synth.SurveySchema(scfg), Sample: synth.SurveySampler(scfg),
+			Tau: math.Pow(2, -30), Trials: trials,
+		}
+		res, err := pso.Run(rng, cfg, pso.InteractiveCounts{Limit: att.Queries(), Eps: eps}, att)
+		if err != nil {
+			return nil, err
+		}
+		label := g3(eps)
+		if eps == 0 {
+			label = "∞ (exact)"
+		}
+		t.AddRow(label, pct(res.SuccessRate()), g3(res.BaselineRate), yesNo(res.PreventsPSO()))
+	}
+	return t, nil
+}
+
+// E10KAnonPSOAttack runs the Theorem 2.10 experiment across k. The
+// dataset size scales with k (n = 120·k) so that class boxes keep
+// comparable (negligible) weight at every k — the asymptotic regime the
+// theorem addresses.
+func E10KAnonPSOAttack(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	scale, trials := 120, 60
+	if quick {
+		scale, trials = 80, 25
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("k-anonymity (Mondrian) vs class∧1/k′ attack, n=%d·k, %d trials", scale, trials),
+		Header: []string{"k", "QIs", "PSO success", "isolations", "mean predicate weight", "baseline", "paper"},
+		Notes: []string{
+			"Thm 2.10: success ≈ (1-1/k′)^{k′-1} ≈ 37% with negligible-weight predicates",
+			"dimensionality grows with k (the theorem's asymptotic regime): larger classes need more attributes for the class predicate to stay negligible",
+		},
+	}
+	for _, k := range []int{2, 5, 10} {
+		questions := 40
+		if k >= 10 {
+			questions = 80
+		}
+		scfg := synth.SurveyConfig{Questions: questions, Skew: 0.8}
+		cfg := pso.Config{
+			N:      scale * k,
+			Schema: synth.SurveySchema(scfg),
+			Sample: synth.SurveySampler(scfg),
+			Tau:    1e-4,
+			Trials: trials,
+		}
+		mech := pso.KAnonymity{QI: surveyQI(cfg.Schema), K: k, Algorithm: pso.UseMondrian}
+		att := pso.KAnonClass{Sample: synth.SurveySampler(scfg), WeightSamples: 1500}
+		res, err := pso.Run(rng, cfg, mech, att)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", questions+1),
+			pct(res.SuccessRate()), pct(res.IsolationRate()),
+			g3(res.MeanNominalWeight), g3(res.BaselineRate), "≈37%")
+	}
+	return t, nil
+}
+
+// E15CohenStyleAttack runs the boosted corner attack across k: success
+// approaches 100% against data-dependent generalization.
+func E15CohenStyleAttack(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, trials := 600, 60
+	if quick {
+		n, trials = 400, 25
+	}
+	t := &Table{
+		ID:     "E15",
+		Title:  fmt.Sprintf("Cohen-style corner attack on Mondrian k-anonymity, n=%d, %d trials", n, trials),
+		Header: []string{"k", "PSO success", "isolations", "paper"},
+		Notes:  []string{"[12]: data-dependent boundaries are witnessed by records; isolation approaches 100%"},
+	}
+	for _, k := range []int{2, 5, 10} {
+		cfg, scfg := surveyConfig(n, trials)
+		mech := pso.KAnonymity{QI: surveyQI(cfg.Schema), K: k, Algorithm: pso.UseMondrian}
+		att := pso.Corner{Attr: 0, Sample: synth.SurveySampler(scfg), WeightSamples: 1500}
+		res, err := pso.Run(rng, cfg, mech, att)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", k), pct(res.SuccessRate()), pct(res.IsolationRate()), "→100%")
+	}
+	return t, nil
+}
+
+// E16LegalVerdictTable assembles the Section 2.4.3 comparison: measured
+// verdicts for each technology next to the Article 29 Working Party's
+// published answers.
+func E16LegalVerdictTable(seed int64, quick bool) (*Table, error) {
+	claims, rows, err := LegalClaims(seed, quick)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E16",
+		Title:  "measured verdicts vs Article 29 WP Opinion 05/2014 (\"Is singling out still a risk?\")",
+		Header: []string{"technology", "WP answer", "measured verdict", "consistent?"},
+		Notes:  []string{"the paper's §2.4.3: the WP's 'no' for k-anonymity (and variants) is contradicted by measurement"},
+	}
+	for _, row := range rows {
+		t.AddRow(row.Technology, row.WPAnswer, row.Measured.String(), yesNo(row.Agrees))
+	}
+	for _, c := range claims {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", c.Technology, c.Verdict.GDPRConclusion()))
+	}
+	return t, nil
+}
+
+// LegalClaims runs the verdict-producing experiment suite shared by E16
+// and cmd/legalreport: k-anonymity (with ℓ-diversity and t-closeness
+// checks riding on the same release) versus the boosted attack, and DP
+// noisy counts versus the composition attack.
+func LegalClaims(seed int64, quick bool) ([]legal.Claim, []legal.WorkingPartyRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, trials := 500, 40
+	if quick {
+		n, trials = 350, 15
+	}
+	cfg, scfg := surveyConfig(n, trials)
+	sample := synth.SurveySampler(scfg)
+
+	kanonMech := pso.KAnonymity{QI: surveyQI(cfg.Schema), K: 5, Algorithm: pso.UseMondrian}
+	lDivMech := pso.KAnonymity{
+		QI: surveyQI(cfg.Schema), K: 5, Algorithm: pso.UseMondrian,
+		Mondrian: kanon.MondrianOptions{MinLDiversity: 2, SensitiveAttr: 1},
+	}
+	var kanonEvidence, lDivEvidence []pso.Result
+	for _, att := range []pso.Attacker{
+		pso.KAnonClass{Sample: sample, WeightSamples: 1200},
+		pso.Corner{Attr: 0, Sample: sample, WeightSamples: 1200},
+	} {
+		r, err := pso.Run(rng, cfg, kanonMech, att)
+		if err != nil {
+			return nil, nil, err
+		}
+		kanonEvidence = append(kanonEvidence, r)
+		r, err = pso.Run(rng, cfg, lDivMech, att)
+		if err != nil {
+			return nil, nil, err
+		}
+		lDivEvidence = append(lDivEvidence, r)
+	}
+
+	dpCfg := pso.Config{
+		N: n, Schema: cfg.Schema, Sample: cfg.Sample,
+		Tau: math.Pow(2, -30), Trials: trials,
+	}
+	att := pso.PrefixDescent{TargetDepth: 40}
+	dpMech := pso.InteractiveCounts{Limit: att.Queries(), Eps: 0.1}
+	dpRes, err := pso.Run(rng, dpCfg, dpMech, att)
+	if err != nil {
+		return nil, nil, err
+	}
+	dpBase, err := pso.Run(rng, dpCfg, dpMech, pso.Baseline{Depth: 30})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	claims := []legal.Claim{
+		legal.Evaluate("k-anonymity (Mondrian, k=5)", kanonEvidence),
+		legal.Evaluate("ℓ-diversity (Mondrian, k=5, ℓ=2)", lDivEvidence),
+		legal.Evaluate("differential privacy (ε=0.1 per count)", []pso.Result{dpRes, dpBase}),
+	}
+	measured := map[string]legal.Verdict{
+		"k-anonymity": claims[0].Verdict,
+		"l-diversity": claims[1].Verdict,
+		// t-closeness shares k-anonymity's failure mode (footnote 3 of the
+		// paper): the class-box attack is oblivious to the sensitive-value
+		// distribution constraint.
+		"t-closeness":          claims[0].Verdict,
+		"differential privacy": claims[2].Verdict,
+	}
+	return claims, legal.CompareWithWorkingParty(measured), nil
+}
+
+// A02PrefixArity is the descent-arity ablation: wider rounds spend more
+// queries for fewer adaptive rounds at equal success.
+func A02PrefixArity(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, trials := 500, 40
+	if quick {
+		n, trials = 300, 15
+	}
+	scfg := synth.SurveyConfig{Questions: 8, Skew: 0.8}
+	t := &Table{
+		ID:     "A02",
+		Title:  fmt.Sprintf("prefix-descent arity ablation, n=%d, depth 40, %d trials", n, trials),
+		Header: []string{"bits/round", "queries ℓ", "adaptive rounds", "PSO success"},
+	}
+	for _, bits := range []int{1, 2, 4} {
+		att := pso.PrefixDescent{TargetDepth: 40, BitsPerRound: bits}
+		cfg := pso.Config{
+			N: n, Schema: synth.SurveySchema(scfg), Sample: synth.SurveySampler(scfg),
+			Tau: math.Pow(2, -30), Trials: trials,
+		}
+		res, err := pso.Run(rng, cfg, pso.InteractiveCounts{Limit: att.Queries()}, att)
+		if err != nil {
+			return nil, err
+		}
+		rounds := (40 + bits - 1) / bits
+		t.AddRow(fmt.Sprintf("%d", bits), fmt.Sprintf("%d", att.Queries()), fmt.Sprintf("%d", rounds), pct(res.SuccessRate()))
+	}
+	return t, nil
+}
+
+// A03MondrianSplit is the split-policy ablation: relaxed splitting lowers
+// information loss while leaving the PSO attack success unchanged.
+func A03MondrianSplit(seed int64, quick bool) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n, trials := 500, 30
+	if quick {
+		n, trials = 350, 12
+	}
+	t := &Table{
+		ID:     "A03",
+		Title:  fmt.Sprintf("Mondrian split policy ablation, k=5, n=%d", n),
+		Header: []string{"policy", "classes", "GenILoss", "PSO success"},
+	}
+	cfg, scfg := surveyConfig(n, trials)
+	sample := synth.SurveySampler(scfg)
+	for _, p := range []struct {
+		name   string
+		policy kanon.SplitPolicy
+	}{{"strict median", kanon.StrictMedian}, {"relaxed", kanon.RelaxedBalanced}} {
+		// Info loss on one fixed dataset.
+		d := dataset.New(cfg.Schema)
+		r2 := rand.New(rand.NewSource(seed + 7))
+		for i := 0; i < n; i++ {
+			d.MustAppend(sample(r2))
+		}
+		rel, err := kanon.Mondrian(d, surveyQI(cfg.Schema), 5, kanon.MondrianOptions{Policy: p.policy})
+		if err != nil {
+			return nil, err
+		}
+		mech := pso.KAnonymity{QI: surveyQI(cfg.Schema), K: 5, Algorithm: pso.UseMondrian,
+			Mondrian: kanon.MondrianOptions{Policy: p.policy}}
+		res, err := pso.Run(rng, cfg, mech, pso.KAnonClass{Sample: sample, WeightSamples: 1200})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.name, fmt.Sprintf("%d", len(rel.Classes)), f3(kanon.GenILoss(rel)), pct(res.SuccessRate()))
+	}
+	return t, nil
+}

@@ -1,0 +1,36 @@
+package kanon_test
+
+import (
+	"fmt"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/kanon"
+)
+
+// ExampleMondrian anonymizes the paper's Section 1.1 toy table with k=2.
+func ExampleMondrian() {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "zip", Kind: dataset.Int, Min: 10000, Max: 99999},
+		dataset.Attribute{Name: "age", Kind: dataset.Int, Min: 0, Max: 120},
+		dataset.Attribute{Name: "sex", Kind: dataset.Categorical, Categories: []string{"F", "M"}},
+	)
+	d := dataset.New(schema)
+	d.MustAppend(dataset.Record{23456, 55, 0})
+	d.MustAppend(dataset.Record{23456, 42, 0})
+	d.MustAppend(dataset.Record{12345, 30, 1})
+	d.MustAppend(dataset.Record{12346, 33, 0})
+
+	rel, err := kanon.Mondrian(d, []int{0, 1, 2}, 2, kanon.MondrianOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("2-anonymous:", rel.IsKAnonymous())
+	for _, c := range rel.Classes {
+		fmt.Printf("class of %d: zip=%s age=%s sex=%s\n",
+			len(c.Rows), c.Cells[0].Label(), c.Cells[1].Label(), c.Cells[2].Label())
+	}
+	// Output:
+	// 2-anonymous: true
+	// class of 2: zip=12345-12346 age=30-33 sex=0-1
+	// class of 2: zip=23456 age=42-55 sex=0
+}

@@ -1,0 +1,52 @@
+package kanon
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"singlingout/internal/dataset"
+)
+
+// WriteGeneralizedCSV renders the release as CSV in the shape a data
+// publisher would ship: one row per released record, quasi-identifier
+// cells replaced by their generalized labels, all other attributes
+// verbatim, suppressed rows omitted. The header matches the source
+// schema.
+func WriteGeneralizedCSV(w io.Writer, d *dataset.Dataset, rel *Release) error {
+	if d.Schema != rel.Schema {
+		return fmt.Errorf("kanon: release schema does not match dataset")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(d.Schema.Attrs))
+	for i, a := range d.Schema.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("kanon: write header: %w", err)
+	}
+	qiPos := make(map[int]int, len(rel.QI))
+	for j, a := range rel.QI {
+		qiPos[a] = j
+	}
+	cells := make([]string, len(header))
+	for _, class := range rel.Classes {
+		for _, row := range class.Rows {
+			for i := range d.Schema.Attrs {
+				if j, isQI := qiPos[i]; isQI {
+					cells[i] = class.Cells[j].Label()
+				} else {
+					cells[i] = d.Schema.Attrs[i].ValueString(d.Rows[row][i])
+				}
+			}
+			if err := cw.Write(cells); err != nil {
+				return fmt.Errorf("kanon: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("kanon: flush: %w", err)
+	}
+	return nil
+}

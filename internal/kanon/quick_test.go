@@ -1,0 +1,94 @@
+package kanon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"singlingout/internal/dataset"
+)
+
+// TestMondrianInvariantsQuick property-tests the anonymizer on random
+// small datasets: every release must be a k-anonymous partition whose
+// class cells cover their members.
+func TestMondrianInvariantsQuick(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "a", Kind: dataset.Int, Min: 0, Max: 63},
+		dataset.Attribute{Name: "b", Kind: dataset.Int, Min: 0, Max: 15},
+		dataset.Attribute{Name: "c", Kind: dataset.Int, Min: 0, Max: 3},
+	)
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 1
+		k := int(kRaw%8) + 1
+		d := dataset.New(schema)
+		for i := 0; i < n; i++ {
+			d.MustAppend(dataset.Record{rng.Int63n(64), rng.Int63n(16), rng.Int63n(4)})
+		}
+		rel, err := Mondrian(d, []int{0, 1, 2}, k, MondrianOptions{Policy: RelaxedBalanced})
+		if err != nil {
+			return false
+		}
+		if !rel.IsKAnonymous() {
+			return false
+		}
+		seen := make([]int, n)
+		for _, c := range rel.Classes {
+			for _, r := range c.Rows {
+				seen[r]++
+				if !c.Matches(d.Rows[r], rel.QI) {
+					return false
+				}
+			}
+		}
+		for _, r := range rel.Suppressed {
+			seen[r]++
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricsBoundsQuick: info-loss metrics stay within their documented
+// ranges on random releases.
+func TestMetricsBoundsQuick(t *testing.T) {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "a", Kind: dataset.Int, Min: 0, Max: 99},
+		dataset.Attribute{Name: "s", Kind: dataset.Int, Min: 0, Max: 5},
+	)
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 2
+		d := dataset.New(schema)
+		for i := 0; i < n; i++ {
+			d.MustAppend(dataset.Record{rng.Int63n(100), rng.Int63n(6)})
+		}
+		rel, err := Mondrian(d, []int{0}, 2, MondrianOptions{})
+		if err != nil {
+			return false
+		}
+		loss := GenILoss(rel)
+		if loss < 0 || loss > 1 {
+			return false
+		}
+		tc := TCloseness(rel, d, 1)
+		if tc < 0 || tc > 1 {
+			return false
+		}
+		if Discernibility(rel, n) < 0 {
+			return false
+		}
+		ld := LDiversity(rel, d, 1)
+		return ld >= 0 && ld <= 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

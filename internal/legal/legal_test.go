@@ -1,0 +1,178 @@
+package legal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"singlingout/internal/pso"
+)
+
+func passing() pso.Result {
+	return pso.Result{
+		Mechanism: "m", Attacker: "a",
+		Trials: 100, Successes: 0, BaselineRate: 0.001, MeanNominalWeight: 1e-6,
+	}
+}
+
+func failing() pso.Result {
+	return pso.Result{
+		Mechanism: "m", Attacker: "boost",
+		Trials: 100, Successes: 37, Isolations: 40, BaselineRate: 0.001, MeanNominalWeight: 1e-6,
+	}
+}
+
+func errored() pso.Result {
+	return pso.Result{Mechanism: "m", Attacker: "broken", Trials: 10, AttackErrors: 10}
+}
+
+func TestEvaluateQuantifier(t *testing.T) {
+	// All attacks at baseline → prevents.
+	c := Evaluate("count mechanism", []pso.Result{passing(), passing()})
+	if c.Verdict != PreventsPSO {
+		t.Errorf("verdict = %v, want prevents", c.Verdict)
+	}
+	// One successful attack anywhere → fails (existential quantifier).
+	c = Evaluate("k-anonymity", []pso.Result{passing(), failing()})
+	if c.Verdict != FailsPSO {
+		t.Errorf("verdict = %v, want fails", c.Verdict)
+	}
+	if !strings.Contains(c.Reasoning, "boost") {
+		t.Errorf("reasoning should name the successful attacker: %q", c.Reasoning)
+	}
+	// No evidence → inconclusive.
+	if Evaluate("x", nil).Verdict != Inconclusive {
+		t.Error("empty evidence should be inconclusive")
+	}
+	// All attacks errored → inconclusive.
+	if Evaluate("x", []pso.Result{errored()}).Verdict != Inconclusive {
+		t.Error("all-errored evidence should be inconclusive")
+	}
+	// Errored attacks are skipped, not counted as passes.
+	c = Evaluate("x", []pso.Result{errored(), failing()})
+	if c.Verdict != FailsPSO {
+		t.Errorf("verdict = %v, want fails despite errored companion", c.Verdict)
+	}
+}
+
+func TestVerdictStringsAndConclusions(t *testing.T) {
+	if PreventsPSO.String() == "" || FailsPSO.String() == "" || Inconclusive.String() == "" {
+		t.Error("empty verdict strings")
+	}
+	if !strings.Contains(PreventsPSO.GDPRConclusion(), "necessary") {
+		t.Error("prevents-conclusion must note necessity, not sufficiency")
+	}
+	if !strings.Contains(FailsPSO.GDPRConclusion(), "NOT") {
+		t.Error("fails-conclusion must be a negative determination")
+	}
+	if Inconclusive.GDPRConclusion() == "" {
+		t.Error("inconclusive conclusion empty")
+	}
+}
+
+func TestCompareWithWorkingParty(t *testing.T) {
+	measured := map[string]Verdict{
+		"k-anonymity":          FailsPSO,
+		"l-diversity":          FailsPSO,
+		"t-closeness":          FailsPSO,
+		"differential privacy": PreventsPSO,
+	}
+	rows := CompareWithWorkingParty(measured)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's §2.4.3 punchline: the WP's "no" for k-anonymity is
+	// contradicted; their hedged "may not" for DP is consistent.
+	for _, r := range rows {
+		switch r.Technology {
+		case "k-anonymity", "l-diversity", "t-closeness":
+			if r.Agrees {
+				t.Errorf("%s: WP 'no' should be contradicted", r.Technology)
+			}
+		case "differential privacy":
+			if !r.Agrees {
+				t.Error("differential privacy: 'may not' should be consistent")
+			}
+		}
+	}
+	// Technologies without measurements are omitted.
+	rows = CompareWithWorkingParty(map[string]Verdict{"k-anonymity": FailsPSO})
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1", len(rows))
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	claims := []Claim{
+		Evaluate("k-anonymity (Mondrian, k=5)", []pso.Result{failing()}),
+		Evaluate("ε=0.1 Laplace counts", []pso.Result{passing()}),
+	}
+	comparison := CompareWithWorkingParty(map[string]Verdict{
+		"k-anonymity":          FailsPSO,
+		"differential privacy": PreventsPSO,
+	})
+	var buf bytes.Buffer
+	if err := Report(&buf, claims, comparison); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"LEGAL THEOREMS",
+		"k-anonymity (Mondrian, k=5)",
+		"does NOT meet the GDPR standard",
+		"further analysis needed",
+		"Article 29 Working Party",
+		"contradicted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Claims-only report (no comparison) also renders.
+	buf.Reset()
+	if err := Report(&buf, claims, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Working Party") {
+		t.Error("comparison section should be absent")
+	}
+}
+
+// failAfter is a writer that errors after a byte budget, exercising
+// Report's error propagation.
+type failAfter struct{ left int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWrite
+	}
+	n := len(p)
+	f.left -= n
+	return n, nil
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "writer full" }
+
+func TestReportPropagatesWriteErrors(t *testing.T) {
+	claims := []Claim{Evaluate("tech", []pso.Result{failing()})}
+	comparison := CompareWithWorkingParty(map[string]Verdict{"k-anonymity": FailsPSO})
+	// Sweep failure points across the whole report to hit every branch.
+	for budget := 0; budget < 700; budget += 25 {
+		w := &failAfter{left: budget}
+		if err := Report(w, claims, comparison); err == nil {
+			// Large budgets legitimately succeed; verify by re-running
+			// with unlimited budget and comparing length.
+			w2 := &failAfter{left: 1 << 30}
+			if err := Report(w2, claims, comparison); err != nil {
+				t.Fatalf("unlimited budget failed: %v", err)
+			}
+			if budget < (1<<30)-w2.left {
+				t.Errorf("budget %d should have failed (report needs %d bytes)", budget, (1<<30)-w2.left)
+			}
+		}
+	}
+}

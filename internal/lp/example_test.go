@@ -1,0 +1,27 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"singlingout/internal/lp"
+)
+
+// ExampleSolve solves the classic two-variable production LP.
+func ExampleSolve() {
+	// maximize 3x + 5y  ⇔  minimize -3x - 5y
+	p := &lp.Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 0}, Rel: lp.LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Rel: lp.LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Rel: lp.LE, RHS: 18},
+		},
+	}
+	s, err := lp.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: x=%.0f y=%.0f value=%.0f\n", s.Status, s.X[0], s.X[1], -s.Objective)
+	// Output: optimal: x=2 y=6 value=36
+}

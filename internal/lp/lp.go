@@ -1,0 +1,437 @@
+// Package lp is a self-contained dense linear-programming solver: a
+// two-phase primal simplex with Bland anti-cycling fallback. It replaces
+// the commercial LP solvers (CPLEX/Gurobi) used by the linear-program
+// reconstruction attacks the paper surveys ([13], [18], [24]), at the
+// laptop scale of this repository's experiments.
+//
+// Problems are stated as: minimize c·x subject to linear constraints with
+// relations ≤, =, ≥ and x ≥ 0. Callers needing free or upper-bounded
+// variables encode them with the usual transformations (the recon and
+// diffix packages do this).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ a_j x_j ≤ b
+	GE            // Σ a_j x_j ≥ b
+	EQ            // Σ a_j x_j = b
+)
+
+// Constraint is one dense row of the constraint system.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a minimization LP in inequality form with x ≥ 0.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // length NumVars; minimized
+	Constraints []Constraint
+}
+
+// Status describes the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a successful Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// ErrIterationLimit is returned when the simplex fails to terminate within
+// its iteration budget (indicative of severe degeneracy or a bug).
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+const (
+	tol = 1e-9
+	// blandAfter switches to Bland's rule after this many Dantzig pivots
+	// to guarantee termination on degenerate problems. The ε-perturbation
+	// makes cycling essentially impossible, so this is a deep backstop;
+	// switching early would trade Dantzig's fast convergence for Bland's
+	// glacial one.
+	blandAfter = 200000
+	// perturb is the per-row scale of the deterministic ε-perturbation
+	// applied to the RHS to break the massive degeneracy of L1-fitting
+	// LPs. Row r is relaxed by perturb·(r+1), so with up to ~1000 rows the
+	// returned point may violate original constraints by at most ~1e-5 —
+	// the feasibility slack documented on Solve.
+	perturb = 1e-8
+)
+
+// Solve runs the two-phase simplex. It returns a Solution whose Status is
+// Optimal, Infeasible or Unbounded; X and Objective are meaningful only
+// for Optimal.
+//
+// Numerical contract: the solver internally relaxes each inequality by a
+// tiny anti-degeneracy perturbation, so the returned point may violate the
+// stated constraints by up to ~1e-5 (for problems with up to ~1000 rows);
+// equalities are not perturbed.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	t := newTableau(p)
+	// Phase 1: minimize the sum of artificials to find a feasible basis.
+	if t.numArt > 0 {
+		t.setPhase1Objective()
+		if err := t.iterate(true); err != nil {
+			return nil, err
+		}
+		if t.rhs(t.m) < -tol { // phase-1 objective value is -row value
+			return &Solution{Status: Infeasible}, nil
+		}
+		if !t.driveOutArtificials() {
+			// Artificial stuck basic at nonzero level: infeasible.
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	// Phase 2: original objective.
+	t.setPhase2Objective(p.Objective)
+	if err := t.iterate(false); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := make([]float64, p.NumVars)
+	for r := 0; r < t.m; r++ {
+		if v := t.basis[r]; v < p.NumVars {
+			x[v] = t.rhs(r)
+		}
+	}
+	obj := 0.0
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+func validate(p *Problem) error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars = %d, want positive", p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("lp: objective length %d != NumVars %d", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("lp: constraint %d width %d != NumVars %d", i, len(c.Coeffs), p.NumVars)
+		}
+	}
+	return nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is the dense simplex tableau. Rows 0..m-1 are constraints; row m
+// is the objective row. Columns 0..total-1 are variables (structural,
+// then slack/surplus, then artificial); column total is the RHS.
+type tableau struct {
+	m, nStruct, numSlack, numArt int
+	total                        int // structural + slack + artificial columns
+	a                            [][]float64
+	basis                        []int
+	artStart                     int // first artificial column
+	pivots                       int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	// Count slack/surplus and artificial columns.
+	numSlack, numArt := 0, 0
+	for _, c := range p.Constraints {
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 { // row will be negated
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	t := &tableau{
+		m:        m,
+		nStruct:  p.NumVars,
+		numSlack: numSlack,
+		numArt:   numArt,
+		total:    p.NumVars + numSlack + numArt,
+		basis:    make([]int, m),
+	}
+	t.artStart = p.NumVars + numSlack
+	t.a = make([][]float64, m+1)
+	for r := range t.a {
+		t.a[r] = make([]float64, t.total+1)
+	}
+	slackCol := p.NumVars
+	artCol := t.artStart
+	for r, c := range p.Constraints {
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j, v := range c.Coeffs {
+			t.a[r][j] = sign * v
+		}
+		// ε-perturbation: strictly increasing tiny offsets keep basic
+		// solutions nondegenerate, preventing simplex stalling/cycling.
+		// Only the relaxing direction is used (LE rows gain slack, GE rows
+		// lose requirement, EQ rows are untouched) so the perturbed
+		// feasible region contains the original one.
+		delta := perturb * float64(r+1)
+		t.a[r][t.total] = sign * c.RHS
+		switch rel {
+		case LE:
+			t.a[r][t.total] += delta
+		case GE:
+			t.a[r][t.total] -= delta
+			if t.a[r][t.total] < 0 {
+				t.a[r][t.total] = 0
+			}
+		}
+		switch rel {
+		case LE:
+			t.a[r][slackCol] = 1
+			t.basis[r] = slackCol
+			slackCol++
+		case GE:
+			t.a[r][slackCol] = -1
+			slackCol++
+			t.a[r][artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+		case EQ:
+			t.a[r][artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+func (t *tableau) rhs(r int) float64 { return t.a[r][t.total] }
+
+// setPhase1Objective loads the objective "minimize sum of artificials",
+// expressed in terms of the current (artificial) basis.
+func (t *tableau) setPhase1Objective() {
+	obj := t.a[t.m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := t.artStart; j < t.total; j++ {
+		obj[j] = 1
+	}
+	// Zero the reduced costs of basic artificials by subtracting their rows.
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] >= t.artStart {
+			for j := 0; j <= t.total; j++ {
+				obj[j] -= t.a[r][j]
+			}
+		}
+	}
+}
+
+// setPhase2Objective loads the original objective, priced out against the
+// current basis, and blocks artificial columns from re-entering by making
+// them prohibitively expensive.
+func (t *tableau) setPhase2Objective(c []float64) {
+	obj := t.a[t.m]
+	for j := range obj {
+		obj[j] = 0
+	}
+	copy(obj, c)
+	for r := 0; r < t.m; r++ {
+		b := t.basis[r]
+		coef := obj[b]
+		if coef == 0 {
+			continue
+		}
+		for j := 0; j <= t.total; j++ {
+			obj[j] -= coef * t.a[r][j]
+		}
+	}
+	// Artificial columns must never re-enter.
+	for j := t.artStart; j < t.total; j++ {
+		if !t.isBasic(j) {
+			obj[j] = math.Inf(1)
+		}
+	}
+}
+
+func (t *tableau) isBasic(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// iterate runs simplex pivots until optimality. In phase 1 (phase1 true)
+// unboundedness cannot occur; in phase 2 it is reported via errUnbounded.
+func (t *tableau) iterate(phase1 bool) error {
+	maxIter := 20000 + 50*(t.m+t.total)
+	for iter := 0; iter < maxIter; iter++ {
+		col := t.chooseEntering()
+		if col < 0 {
+			return nil // optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			if phase1 {
+				return fmt.Errorf("lp: phase-1 unbounded (internal error)")
+			}
+			return errUnbounded
+		}
+		t.pivot(row, col)
+	}
+	return ErrIterationLimit
+}
+
+// chooseEntering picks the entering column: most negative reduced cost
+// (Dantzig), or the lowest-index negative one after blandAfter pivots.
+func (t *tableau) chooseEntering() int {
+	obj := t.a[t.m]
+	if t.pivots >= blandAfter {
+		for j := 0; j < t.total; j++ {
+			if obj[j] < -tol && !math.IsInf(obj[j], 1) {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -tol
+	for j := 0; j < t.total; j++ {
+		if v := obj[j]; v < bestVal && !math.IsInf(v, 1) {
+			best, bestVal = j, v
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test on the entering column; ties break by
+// lowest basis index (lexicographic-ish, pairs with Bland).
+func (t *tableau) chooseLeaving(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for r := 0; r < t.m; r++ {
+		a := t.a[r][col]
+		if a <= tol {
+			continue
+		}
+		ratio := t.rhs(r) / a
+		if ratio < 0 {
+			// Tiny negative RHS from roundoff: treat as a zero-ratio
+			// (degenerate) pivot rather than an improving one.
+			ratio = 0
+		}
+		if ratio < bestRatio-tol || (ratio < bestRatio+tol && (bestRow < 0 || t.basis[r] < t.basis[bestRow])) {
+			bestRatio = ratio
+			bestRow = r
+		}
+	}
+	return bestRow
+}
+
+func (t *tableau) pivot(row, col int) {
+	t.pivots++
+	piv := t.a[row][col]
+	invPiv := 1 / piv
+	rowData := t.a[row]
+	for j := 0; j <= t.total; j++ {
+		rowData[j] *= invPiv
+	}
+	for r := 0; r <= t.m; r++ {
+		if r == row {
+			continue
+		}
+		factor := t.a[r][col]
+		if factor == 0 || math.IsInf(factor, 0) {
+			continue
+		}
+		dst := t.a[r]
+		for j := 0; j <= t.total; j++ {
+			dst[j] -= factor * rowData[j]
+		}
+		dst[col] = 0 // enforce exact zero against roundoff
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots any artificial variable still basic at level
+// zero out of the basis. It returns false if an artificial is basic at a
+// nonzero level (the problem is infeasible).
+func (t *tableau) driveOutArtificials() bool {
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		if math.Abs(t.rhs(r)) > 1e-7 {
+			return false
+		}
+		// Find any non-artificial column with a nonzero entry to pivot in.
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[r][j]) > 1e-7 && !t.isBasic(j) {
+				t.pivot(r, j)
+				pivoted = true
+				break
+			}
+		}
+		// If no pivot exists the row is redundant (all zeros); leaving the
+		// zero-level artificial basic is harmless because phase 2 bars
+		// artificials from carrying value.
+		_ = pivoted
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+// Package membership implements Homer-style membership inference against
+// released aggregate statistics ([26] in the paper, as refined by
+// Sankararaman et al. and Dwork et al.): given published per-attribute
+// frequencies of a study group, a reference population's frequencies, and
+// a target individual's record, a linear test statistic reveals whether
+// the target was in the study. The package also shows the defense the
+// paper advocates: releasing the aggregates with differential privacy
+// collapses the attacker's advantage.
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"singlingout/internal/dist"
+)
+
+// Model describes the attribute universe: M independent binary attributes
+// with population frequencies Freqs (the attacker's reference panel).
+type Model struct {
+	Freqs []float64
+}
+
+// NewModel draws M attribute frequencies uniformly from [lo, hi].
+func NewModel(rng *rand.Rand, m int, lo, hi float64) (*Model, error) {
+	if m <= 0 || lo < 0 || hi > 1 || lo >= hi {
+		return nil, fmt.Errorf("membership: invalid model parameters m=%d lo=%v hi=%v", m, lo, hi)
+	}
+	f := make([]float64, m)
+	for j := range f {
+		f[j] = lo + rng.Float64()*(hi-lo)
+	}
+	return &Model{Freqs: f}, nil
+}
+
+// SampleIndividual draws one individual's attribute vector.
+func (m *Model) SampleIndividual(rng *rand.Rand) []int8 {
+	y := make([]int8, len(m.Freqs))
+	for j, p := range m.Freqs {
+		if rng.Float64() < p {
+			y[j] = 1
+		}
+	}
+	return y
+}
+
+// Study is a sampled study group and its published aggregate.
+type Study struct {
+	Members [][]int8
+	// Released is the published per-attribute mean; possibly noised.
+	Released []float64
+}
+
+// NewStudy samples n individuals and publishes exact attribute means.
+func NewStudy(rng *rand.Rand, model *Model, n int) (*Study, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("membership: study size %d", n)
+	}
+	s := &Study{Members: make([][]int8, n), Released: make([]float64, len(model.Freqs))}
+	for i := range s.Members {
+		s.Members[i] = model.SampleIndividual(rng)
+		for j, b := range s.Members[i] {
+			s.Released[j] += float64(b)
+		}
+	}
+	for j := range s.Released {
+		s.Released[j] /= float64(n)
+	}
+	return s, nil
+}
+
+// ReleaseDP replaces the published means with an ε-differentially private
+// release: each mean gets Laplace noise of scale 1/(n·epsPerStat); under
+// basic composition the whole release costs M·epsPerStat.
+func (s *Study) ReleaseDP(rng *rand.Rand, epsPerStat float64) {
+	n := float64(len(s.Members))
+	for j := range s.Released {
+		s.Released[j] += dist.Laplace(rng, 1/(n*epsPerStat))
+	}
+}
+
+// Statistic is the linear membership test statistic
+//
+//	T(y) = Σ_j (y_j − p_j)·(q_j − p_j)
+//
+// where p is the reference frequency and q the released study frequency.
+// In-study individuals have E[T] = Σ_j Var-ish positive drift; out-of-
+// study individuals have E[T] = 0.
+func Statistic(y []int8, reference, released []float64) float64 {
+	t := 0.0
+	for j := range y {
+		t += (float64(y[j]) - reference[j]) * (released[j] - reference[j])
+	}
+	return t
+}
+
+// Experiment measures the attacker's power: it computes the statistic for
+// all study members and for `outs` fresh non-members, and returns the
+// empirical AUC (probability a random member scores above a random
+// non-member; 0.5 = no information, 1.0 = perfect membership inference).
+func Experiment(rng *rand.Rand, model *Model, study *Study, outs int) float64 {
+	var inScores, outScores []float64
+	for _, y := range study.Members {
+		inScores = append(inScores, Statistic(y, model.Freqs, study.Released))
+	}
+	for i := 0; i < outs; i++ {
+		y := model.SampleIndividual(rng)
+		outScores = append(outScores, Statistic(y, model.Freqs, study.Released))
+	}
+	return AUC(inScores, outScores)
+}
+
+// AUC computes the Mann–Whitney AUC of positives over negatives.
+func AUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0.5
+	}
+	// Rank-based computation: sort all, sum ranks of positives.
+	type scored struct {
+		v   float64
+		pos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, v := range pos {
+		all = append(all, scored{v, true})
+	}
+	for _, v := range neg {
+		all = append(all, scored{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Average ranks over ties.
+	rankSum := 0.0
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	nPos, nNeg := float64(len(pos)), float64(len(neg))
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg)
+}

@@ -1,0 +1,133 @@
+package membership
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewModel(rng, 0, 0.1, 0.9); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := NewModel(rng, 5, 0.9, 0.1); err == nil {
+		t.Error("lo >= hi should fail")
+	}
+	m, err := NewModel(rng, 100, 0.05, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Freqs {
+		if f < 0.05 || f > 0.95 {
+			t.Fatalf("frequency %v out of range", f)
+		}
+	}
+}
+
+func TestStudyReleasedMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	model, _ := NewModel(rng, 50, 0.2, 0.8)
+	study, err := NewStudy(rng, model, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, q := range study.Released {
+		sum := 0
+		for _, y := range study.Members {
+			sum += int(y[j])
+		}
+		want := float64(sum) / 200
+		if math.Abs(q-want) > 1e-12 {
+			t.Fatalf("released[%d] = %v, want %v", j, q, want)
+		}
+	}
+	if _, err := NewStudy(rng, model, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+// TestHomerAttackSucceedsOnExactAggregates: the paper's survey point —
+// aggregate statistics leak membership.
+func TestHomerAttackSucceedsOnExactAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model, _ := NewModel(rng, 2000, 0.05, 0.95) // many attributes, as with SNPs
+	study, _ := NewStudy(rng, model, 100)
+	auc := Experiment(rng, model, study, 100)
+	if auc < 0.95 {
+		t.Errorf("AUC = %v, want >= 0.95 with 2000 exact statistics", auc)
+	}
+}
+
+// TestDPCollapsesMembershipInference: releasing the same aggregates with
+// DP noise drives the attacker back to coin flipping.
+func TestDPCollapsesMembershipInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	model, _ := NewModel(rng, 2000, 0.05, 0.95)
+	study, _ := NewStudy(rng, model, 100)
+	study.ReleaseDP(rng, 0.0005) // total budget m·eps = 1
+	auc := Experiment(rng, model, study, 100)
+	if auc > 0.65 {
+		t.Errorf("AUC = %v under DP release, want <= 0.65", auc)
+	}
+}
+
+func TestFewerAttributesWeakerAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	aucMany, aucFew := 0.0, 0.0
+	const reps = 5
+	for r := 0; r < reps; r++ {
+		modelMany, _ := NewModel(rng, 1000, 0.05, 0.95)
+		studyMany, _ := NewStudy(rng, modelMany, 200)
+		aucMany += Experiment(rng, modelMany, studyMany, 200)
+		modelFew, _ := NewModel(rng, 10, 0.05, 0.95)
+		studyFew, _ := NewStudy(rng, modelFew, 200)
+		aucFew += Experiment(rng, modelFew, studyFew, 200)
+	}
+	if aucFew >= aucMany {
+		t.Errorf("few-attribute AUC %v should trail many-attribute AUC %v", aucFew/reps, aucMany/reps)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	if got := AUC([]float64{2, 3}, []float64{0, 1}); got != 1 {
+		t.Errorf("separable AUC = %v, want 1", got)
+	}
+	if got := AUC([]float64{0, 1}, []float64{2, 3}); got != 0 {
+		t.Errorf("anti-separable AUC = %v, want 0", got)
+	}
+	if got := AUC([]float64{1, 1}, []float64{1, 1}); got != 0.5 {
+		t.Errorf("all-ties AUC = %v, want 0.5", got)
+	}
+	if got := AUC(nil, []float64{1}); got != 0.5 {
+		t.Errorf("empty AUC = %v, want 0.5", got)
+	}
+	// Interleaved: pos {1,3}, neg {0,2} → pairs won: (1>0), (3>0), (3>2) = 3/4.
+	if got := AUC([]float64{1, 3}, []float64{0, 2}); got != 0.75 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestStatisticZeroMeanForOutsiders(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	model, _ := NewModel(rng, 500, 0.2, 0.8)
+	study, _ := NewStudy(rng, model, 50)
+	sum := 0.0
+	const outs = 3000
+	for i := 0; i < outs; i++ {
+		sum += Statistic(model.SampleIndividual(rng), model.Freqs, study.Released)
+	}
+	mean := sum / outs
+	// Outsider statistics have zero mean (up to sampling noise).
+	if math.Abs(mean) > 0.5 {
+		t.Errorf("outsider mean statistic = %v, want ≈0", mean)
+	}
+	// Insider statistics have positive mean.
+	sumIn := 0.0
+	for _, y := range study.Members {
+		sumIn += Statistic(y, model.Freqs, study.Released)
+	}
+	if sumIn/float64(len(study.Members)) <= mean {
+		t.Error("insider mean should exceed outsider mean")
+	}
+}

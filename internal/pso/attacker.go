@@ -1,0 +1,292 @@
+package pso
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/kanon"
+)
+
+// Attacker is the adversary A of Definition 2.3/2.4: it observes the
+// mechanism's released output and produces a predicate over raw records.
+type Attacker interface {
+	// Attack maps the released value to a predicate. n is the (public)
+	// dataset size.
+	Attack(rng *rand.Rand, released any, n int) (Predicate, error)
+	// Describe renders the attacker for reports.
+	Describe() string
+}
+
+// ErrWrongRelease is returned when an attacker receives a release shape it
+// cannot use.
+var ErrWrongRelease = errors.New("pso: attacker cannot use this release type")
+
+// Baseline ignores the release entirely and guesses a random hash-prefix
+// predicate of the given depth. Its success probability is the trivial
+// bound n·2^-Depth·(1-2^-Depth)^(n-1) — negligible when 2^-Depth is; it
+// is the control arm every experiment compares against.
+type Baseline struct {
+	Depth int
+}
+
+// Attack implements Attacker.
+func (b Baseline) Attack(rng *rand.Rand, released any, n int) (Predicate, error) {
+	if b.Depth <= 0 || b.Depth > 63 {
+		return nil, fmt.Errorf("pso: Baseline depth %d outside [1,63]", b.Depth)
+	}
+	return HashPrefix{
+		Seed:   rng.Uint64(),
+		Depth:  b.Depth,
+		Prefix: rng.Uint64() >> (64 - uint(b.Depth)),
+	}, nil
+}
+
+// Describe implements Attacker.
+func (b Baseline) Describe() string { return fmt.Sprintf("baseline (random depth-%d prefix)", b.Depth) }
+
+// Birthday is the trivial attacker of the paper's worked example: it
+// outputs an equality predicate on a fixed attribute with a random value
+// of weight 1/Domain (e.g. "born Apr-30" with weight 1/365). It isolates
+// with probability ≈ 37% when n ≈ Domain — which is why Definition 2.3 is
+// unachievable and Definition 2.4 restricts to negligible-weight
+// predicates: this predicate's weight is 1/n, far from negligible.
+type Birthday struct {
+	Attr   int
+	Min    int64
+	Domain int64
+}
+
+// Attack implements Attacker.
+func (b Birthday) Attack(rng *rand.Rand, released any, n int) (Predicate, error) {
+	if b.Domain <= 0 {
+		return nil, fmt.Errorf("pso: Birthday domain must be positive")
+	}
+	return Equality{
+		Attr:   b.Attr,
+		Value:  b.Min + rng.Int63n(b.Domain),
+		Weight: 1 / float64(b.Domain),
+	}, nil
+}
+
+// Describe implements Attacker.
+func (b Birthday) Describe() string {
+	return fmt.Sprintf("birthday (random equality on attr %d, w=1/%d)", b.Attr, b.Domain)
+}
+
+// PrefixDescent is the composition attack of Theorem 2.8: against an
+// adaptive count oracle it walks down a random hash-prefix tree, always
+// stepping into a nonempty child, until exactly one record remains; it
+// then keeps extending the prefix (staying on that record) until the
+// predicate's nominal weight 2^-depth reaches TargetDepth. The total
+// number of count queries is TargetDepth = ω(log n) — matching the
+// theorem's ℓ.
+//
+// Against exact counts the walk succeeds with high probability (records
+// are distinct under the hash); against ε-DP noisy counts the walk's
+// branch decisions are corrupted and the attack collapses to baseline —
+// the Theorem 2.9 phenomenon.
+type PrefixDescent struct {
+	TargetDepth int
+	// BitsPerRound > 1 descends the tree multiple bits at a time,
+	// querying 2^b − 1 of the 2^b children per round (the last child's
+	// count is inferred from the parent). Fewer adaptive rounds, more
+	// total queries — the descent-arity ablation. Zero or one means
+	// binary descent.
+	BitsPerRound int
+}
+
+// Queries returns the number of count queries one attack consumes.
+func (a PrefixDescent) Queries() int {
+	b := a.bits()
+	rounds := (a.TargetDepth + b - 1) / b
+	return rounds * ((1 << uint(b)) - 1)
+}
+
+func (a PrefixDescent) bits() int {
+	if a.BitsPerRound <= 1 {
+		return 1
+	}
+	return a.BitsPerRound
+}
+
+// Attack implements Attacker.
+func (a PrefixDescent) Attack(rng *rand.Rand, released any, n int) (Predicate, error) {
+	oracle, ok := released.(*CountOracle)
+	if !ok {
+		return nil, fmt.Errorf("%w: need *CountOracle, got %T", ErrWrongRelease, released)
+	}
+	if a.TargetDepth <= 0 || a.TargetDepth > 63 {
+		return nil, fmt.Errorf("pso: PrefixDescent target depth %d outside [1,63]", a.TargetDepth)
+	}
+	seed := rng.Uint64()
+	prefix := uint64(0)
+	depth := 0
+	parentCount := float64(n)
+	b := a.bits()
+	for depth < a.TargetDepth {
+		step := b
+		if depth+step > a.TargetDepth {
+			step = a.TargetDepth - depth
+		}
+		fan := 1 << uint(step)
+		// Query the first fan-1 children; infer the last from the parent.
+		bestChild, bestCount := -1, 0.0
+		remaining := parentCount
+		for child := 0; child < fan; child++ {
+			var c float64
+			if child < fan-1 {
+				p := HashPrefix{Seed: seed, Depth: depth + step, Prefix: prefix<<uint(step) | uint64(child)}
+				var err error
+				c, err = oracle.Count(p)
+				if err != nil {
+					return nil, fmt.Errorf("pso: prefix descent: %w", err)
+				}
+				remaining -= c
+			} else {
+				c = remaining
+			}
+			// Prefer the smallest nonempty child: it reaches count 1
+			// sooner and stays on a single record once there.
+			if c >= 0.5 && (bestChild < 0 || c < bestCount) {
+				bestChild, bestCount = child, c
+			}
+		}
+		if bestChild < 0 {
+			// Noise wiped out every child; walk into an arbitrary one.
+			bestChild, bestCount = 0, 0
+		}
+		prefix = prefix<<uint(step) | uint64(bestChild)
+		parentCount = bestCount
+		depth += step
+	}
+	return HashPrefix{Seed: seed, Depth: a.TargetDepth, Prefix: prefix}, nil
+}
+
+// Describe implements Attacker.
+func (a PrefixDescent) Describe() string {
+	return fmt.Sprintf("prefix descent (depth %d, %d-bit rounds, ℓ=%d counts)",
+		a.TargetDepth, a.bits(), a.Queries())
+}
+
+// KAnonClass is the Theorem 2.10 attacker: from a k-anonymous release it
+// picks an equivalence class, reads its size k′ off the release, and
+// outputs box ∧ (fresh hash ≡ r mod k′) — a predicate of negligible
+// nominal weight (the box weight divided by k′) that isolates with
+// probability ≈ k′·(1/k′)(1−1/k′)^{k′−1} ≈ 37%.
+type KAnonClass struct {
+	// Sample draws fresh records from D for box-weight estimation.
+	Sample func(*rand.Rand) dataset.Record
+	// WeightSamples is the Monte Carlo budget per box (default 2000).
+	WeightSamples int
+}
+
+// Attack implements Attacker.
+func (a KAnonClass) Attack(rng *rand.Rand, released any, n int) (Predicate, error) {
+	rel, ok := released.(*kanon.Release)
+	if !ok {
+		return nil, fmt.Errorf("%w: need *kanon.Release, got %T", ErrWrongRelease, released)
+	}
+	if len(rel.Classes) == 0 {
+		return nil, errors.New("pso: release has no classes to attack")
+	}
+	ws := a.WeightSamples
+	if ws <= 0 {
+		ws = 2000
+	}
+	// The attacker is free to aim at the lightest-weight class: it scouts
+	// a sample of classes with a cheap weight estimate and refines the
+	// lightest with the full budget.
+	ci := lightestClass(rng, rel, a.Sample, ws/8+50)
+	box := NewClassBox(rng, rel, ci, a.Sample, ws, -1)
+	kPrime := uint64(len(rel.Classes[ci].Rows))
+	return And{Parts: []Predicate{
+		box,
+		HashMod{Seed: rng.Uint64(), M: kPrime, Residue: rng.Uint64() % kPrime},
+	}}, nil
+}
+
+// Describe implements Attacker.
+func (a KAnonClass) Describe() string { return "k-anon class ∧ 1/k′ hash refinement (Thm 2.10)" }
+
+// lightestClass scouts up to 16 release classes and returns the index of
+// the one whose box has the smallest estimated weight.
+func lightestClass(rng *rand.Rand, rel *kanon.Release, sample func(*rand.Rand) dataset.Record, scoutSamples int) int {
+	best, bestW := 0, math.Inf(1)
+	candidates := len(rel.Classes)
+	stride := 1
+	if candidates > 16 {
+		stride = candidates / 16
+	}
+	for ci := 0; ci < candidates; ci += stride {
+		w := NewClassBox(rng, rel, ci, sample, scoutSamples, -1).Weight
+		if w < bestW {
+			best, bestW = ci, w
+		}
+	}
+	return best
+}
+
+// Corner is the Cohen-style boosted attack ([12]) against
+// generalization-based k-anonymity with data-dependent cell boundaries
+// (Mondrian): the released interval endpoints are witnessed by actual
+// records, so "box ∧ (attr = interval minimum)" isolates whenever exactly
+// one class member attains the minimum — which is almost always, for a
+// large-domain attribute with few ties. Success approaches 100%, far above
+// the 37% of the unboosted attack.
+type Corner struct {
+	// Attr is the large-domain attribute (its position in the release QI
+	// list is located automatically).
+	Attr int
+	// Sample and WeightSamples: as in KAnonClass.
+	Sample        func(*rand.Rand) dataset.Record
+	WeightSamples int
+}
+
+// Attack implements Attacker.
+func (a Corner) Attack(rng *rand.Rand, released any, n int) (Predicate, error) {
+	rel, ok := released.(*kanon.Release)
+	if !ok {
+		return nil, fmt.Errorf("%w: need *kanon.Release, got %T", ErrWrongRelease, released)
+	}
+	if len(rel.Classes) == 0 {
+		return nil, errors.New("pso: release has no classes to attack")
+	}
+	qiPos := -1
+	for j, attr := range rel.QI {
+		if attr == a.Attr {
+			qiPos = j
+			break
+		}
+	}
+	if qiPos < 0 {
+		return nil, fmt.Errorf("pso: attribute %d is not a released quasi-identifier", a.Attr)
+	}
+	ws := a.WeightSamples
+	if ws <= 0 {
+		ws = 2000
+	}
+	ci := rng.Intn(len(rel.Classes))
+	cell, ok := rel.Classes[ci].Cells[qiPos].(kanon.Interval)
+	if !ok {
+		return nil, fmt.Errorf("%w: corner attack needs interval cells (data-dependent bounds)", ErrWrongRelease)
+	}
+	// Build the box over the other attributes and replace the target
+	// attribute's cell with equality at the released (witnessed) minimum.
+	box := NewClassBox(rng, rel, ci, a.Sample, ws, qiPos)
+	marginal := CellMarginal(rng, cell, a.Attr, a.Sample, ws)
+	corner := Equality{
+		Attr:  a.Attr,
+		Value: cell.Lo,
+		// Idealization: the cell's mass spread uniformly over its values.
+		Weight: marginal / math.Max(1, float64(cell.Size())),
+	}
+	return And{Parts: []Predicate{box, corner}}, nil
+}
+
+// Describe implements Attacker.
+func (a Corner) Describe() string {
+	return fmt.Sprintf("Cohen-style corner attack on attr %d", a.Attr)
+}

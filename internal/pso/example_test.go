@@ -1,0 +1,30 @@
+package pso_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"singlingout/internal/pso"
+)
+
+// ExampleRun plays the predicate-singling-out game of Definition 2.4: the
+// birthday attacker against an exact count mechanism. The attacker
+// isolates often (the paper's 37%) but its predicates are far too heavy
+// to count as predicate singling out.
+func ExampleRun() {
+	rng := rand.New(rand.NewSource(1))
+	cfg := pso.BirthdayConfig(1e-6, 2000)
+	mech := pso.Count{Q: pso.Equality{Attr: 0, Value: 0, Weight: 1.0 / pso.BirthdayDomain}}
+	att := pso.Birthday{Attr: 0, Min: 0, Domain: pso.BirthdayDomain}
+	res, err := pso.Run(rng, cfg, mech, att)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("isolates ≈37%%: %v\n", res.IsolationRate() > 0.3 && res.IsolationRate() < 0.45)
+	fmt.Printf("predicate singling out: %d successes\n", res.Successes)
+	fmt.Printf("mechanism prevents PSO: %v\n", res.PreventsPSO())
+	// Output:
+	// isolates ≈37%: true
+	// predicate singling out: 0 successes
+	// mechanism prevents PSO: true
+}

@@ -1,0 +1,120 @@
+package pso
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/dist"
+)
+
+// RunParallel plays the same game as Run with trials distributed over a
+// worker pool. Each trial derives its own random source from the base
+// seed and the trial index, so the aggregate result is deterministic in
+// the seed and independent of the worker count (unlike Run, which threads
+// one source through all trials — the two functions therefore produce
+// different, but individually reproducible, streams).
+//
+// workers <= 0 selects GOMAXPROCS.
+func RunParallel(seed int64, cfg Config, m Mechanism, a Attacker, workers int) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	type trialOutcome struct {
+		nominal  float64
+		measured float64
+		checked  bool
+		isolated bool
+		light    bool
+		errored  bool
+		err      error
+	}
+	outcomes := make([]trialOutcome, cfg.Trials)
+	var wg sync.WaitGroup
+	// Buffered so that workers exiting early (on mechanism failure) can
+	// never block the producer.
+	next := make(chan int, cfg.Trials)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				// Per-trial source: deterministic in (seed, trial) and
+				// independent of scheduling.
+				rng := rand.New(rand.NewSource(seed ^ int64(uint64(trial)*0x9e3779b97f4a7c15)))
+				o := &outcomes[trial]
+				d := dataset.New(cfg.Schema)
+				for i := 0; i < cfg.N; i++ {
+					d.MustAppend(cfg.Sample(rng))
+				}
+				released, err := m.Release(rng, d)
+				if err != nil {
+					o.err = fmt.Errorf("pso: mechanism failed: %w", err)
+					return
+				}
+				p, err := a.Attack(rng, released, cfg.N)
+				if err != nil {
+					o.errored = true
+					continue
+				}
+				o.nominal = p.NominalWeight()
+				if cfg.WeightCheckSamples > 0 {
+					o.measured = EstimateWeight(rng, p, cfg.Sample, cfg.WeightCheckSamples)
+					o.checked = true
+				}
+				if Isolates(p, d) {
+					o.isolated = true
+					o.light = o.nominal <= cfg.Tau
+				}
+			}
+		}()
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+
+	res := Result{Mechanism: m.Describe(), Attacker: a.Describe(), Trials: cfg.Trials}
+	var sumNominal, sumMeasured float64
+	measured := 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		if o.errored {
+			res.AttackErrors++
+			continue
+		}
+		sumNominal += o.nominal
+		if o.checked {
+			sumMeasured += o.measured
+			measured++
+		}
+		if o.isolated {
+			res.Isolations++
+			if o.light {
+				res.Successes++
+			} else {
+				res.HeavyIsolations++
+			}
+		}
+	}
+	if n := cfg.Trials - res.AttackErrors; n > 0 {
+		res.MeanNominalWeight = sumNominal / float64(n)
+	}
+	if measured > 0 {
+		res.MeanMeasuredWeight = sumMeasured / float64(measured)
+	}
+	res.BaselineRate = dist.IsolationProb(cfg.N, res.MeanNominalWeight)
+	return res, nil
+}

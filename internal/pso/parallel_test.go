@@ -1,0 +1,84 @@
+package pso
+
+import (
+	"testing"
+
+	"singlingout/internal/synth"
+)
+
+func TestRunParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := BirthdayConfig(1e-6, 200)
+	mech := Count{Q: Equality{Attr: 0, Value: 0, Weight: 1.0 / BirthdayDomain}}
+	att := Birthday{Attr: 0, Min: 0, Domain: BirthdayDomain}
+	var results []Result
+	for _, workers := range []int{1, 4, 0 /* GOMAXPROCS */} {
+		res, err := RunParallel(9, cfg, mech, att, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Successes != results[0].Successes ||
+			results[i].Isolations != results[0].Isolations ||
+			results[i].MeanNominalWeight != results[0].MeanNominalWeight {
+			t.Errorf("worker count changed results: %+v vs %+v", results[i], results[0])
+		}
+	}
+	// And the birthday behaviour matches the sequential harness.
+	iso := results[0].IsolationRate()
+	if iso < 0.30 || iso > 0.45 {
+		t.Errorf("parallel isolation rate = %v, want ≈0.37", iso)
+	}
+}
+
+func TestRunParallelMatchesRunOnAttackSemantics(t *testing.T) {
+	scfg := synth.SurveyConfig{Questions: 8, Skew: 0.8}
+	cfg := Config{
+		N:      300,
+		Schema: synth.SurveySchema(scfg),
+		Sample: synth.SurveySampler(scfg),
+		Tau:    1.0 / (1 << 30),
+		Trials: 20,
+	}
+	att := PrefixDescent{TargetDepth: 40}
+	res, err := RunParallel(3, cfg, InteractiveCounts{Limit: att.Queries()}, att, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() < 0.9 {
+		t.Errorf("parallel composition attack success = %v, want ≈1", res.SuccessRate())
+	}
+}
+
+func TestRunParallelValidatesAndPropagates(t *testing.T) {
+	if _, err := RunParallel(1, Config{}, Count{}, Baseline{Depth: 5}, 2); err == nil {
+		t.Error("invalid config should fail")
+	}
+	// Mechanism failure propagates.
+	cfg := BirthdayConfig(1e-6, 4)
+	if _, err := RunParallel(1, cfg, InteractiveCounts{Limit: 0}, Baseline{Depth: 5}, 2); err == nil {
+		t.Error("mechanism error should propagate")
+	}
+	// Attacker errors are counted, not fatal.
+	res, err := RunParallel(1, cfg, Count{Q: Equality{Attr: 0, Value: 1}}, PrefixDescent{TargetDepth: 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackErrors != 4 {
+		t.Errorf("AttackErrors = %d, want 4", res.AttackErrors)
+	}
+}
+
+func TestRunParallelWeightCheck(t *testing.T) {
+	cfg := BirthdayConfig(1e-6, 10)
+	cfg.WeightCheckSamples = 2000
+	res, err := RunParallel(5, cfg, Count{Q: Equality{Attr: 0, Value: 0}}, Birthday{Attr: 0, Min: 0, Domain: BirthdayDomain}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured weight should agree with the nominal 1/365 within MC noise.
+	if res.MeanMeasuredWeight < 0.001 || res.MeanMeasuredWeight > 0.006 {
+		t.Errorf("measured weight = %v, want ≈1/365", res.MeanMeasuredWeight)
+	}
+}

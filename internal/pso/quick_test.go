@@ -1,0 +1,81 @@
+package pso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"singlingout/internal/dataset"
+)
+
+// TestHashPredicatePropertiesQuick: hash predicates are deterministic,
+// their nominal weights lie in (0,1], and conjunction weight never
+// exceeds any part's weight.
+func TestHashPredicatePropertiesQuick(t *testing.T) {
+	f := func(seed uint64, depthRaw uint8, m uint64, cells [4]int64) bool {
+		depth := int(depthRaw%63) + 1
+		r := dataset.Record(cells[:])
+		hp := HashPrefix{Seed: seed, Depth: depth, Prefix: 0}
+		if hp.Eval(r) != hp.Eval(r) {
+			return false
+		}
+		if w := hp.NominalWeight(); w <= 0 || w > 1 {
+			return false
+		}
+		hm := HashMod{Seed: seed, M: m%100 + 1, Residue: 0}
+		if hm.Eval(r) != hm.Eval(r) {
+			return false
+		}
+		and := And{Parts: []Predicate{hp, hm}}
+		if and.Eval(r) && (!hp.Eval(r) || !hm.Eval(r)) {
+			return false
+		}
+		w := and.NominalWeight()
+		return w <= hp.NominalWeight()+1e-15 && w <= hm.NominalWeight()+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIsolationCountBoundsQuick: 0 <= IsolationCount <= n, and Isolates
+// agrees with count == 1.
+func TestIsolationCountBoundsQuick(t *testing.T) {
+	schema := BirthdaySchema()
+	f := func(seed int64, nRaw uint8, value uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 50)
+		d := dataset.New(schema)
+		for i := 0; i < n; i++ {
+			d.MustAppend(dataset.Record{rng.Int63n(BirthdayDomain)})
+		}
+		p := Equality{Attr: 0, Value: int64(value % BirthdayDomain)}
+		c := IsolationCount(p, d)
+		if c < 0 || c > n {
+			return false
+		}
+		return Isolates(p, d) == (c == 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashPrefixPartitionQuick: at a fixed depth, every record matches
+// exactly one prefix — the property the descent attack relies on.
+func TestHashPrefixPartitionQuick(t *testing.T) {
+	f := func(seed uint64, cells [3]int64, depthRaw uint8) bool {
+		depth := int(depthRaw%10) + 1
+		r := dataset.Record(cells[:])
+		matches := 0
+		for prefix := uint64(0); prefix < 1<<uint(depth); prefix++ {
+			if (HashPrefix{Seed: seed, Depth: depth, Prefix: prefix}).Eval(r) {
+				matches++
+			}
+		}
+		return matches == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

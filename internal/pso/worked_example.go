@@ -1,0 +1,41 @@
+package pso
+
+import (
+	"math/rand"
+
+	"singlingout/internal/dataset"
+)
+
+// This file packages the paper's Section 2.2 worked example: a dataset of
+// n = 365 birthdays drawn uniformly from {Jan-1, ..., Dec-31}, against
+// which a trivial fixed-date predicate isolates with probability ≈ 37%.
+
+// BirthdayDomain is the number of days in the worked example's domain.
+const BirthdayDomain = 365
+
+// BirthdaySchema returns the one-attribute schema of the worked example.
+func BirthdaySchema() *dataset.Schema {
+	return dataset.MustSchema(dataset.Attribute{
+		Name: "birthday", Kind: dataset.Int, Min: 0, Max: BirthdayDomain - 1,
+	})
+}
+
+// BirthdaySampler draws single uniform birthdays — the distribution D of
+// the worked example.
+func BirthdaySampler() func(*rand.Rand) dataset.Record {
+	return func(rng *rand.Rand) dataset.Record {
+		return dataset.Record{rng.Int63n(BirthdayDomain)}
+	}
+}
+
+// BirthdayConfig returns the worked example's experiment configuration:
+// n = 365 uniform birthdays with threshold τ.
+func BirthdayConfig(tau float64, trials int) Config {
+	return Config{
+		N:      BirthdayDomain,
+		Schema: BirthdaySchema(),
+		Sample: BirthdaySampler(),
+		Tau:    tau,
+		Trials: trials,
+	}
+}

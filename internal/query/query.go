@@ -1,0 +1,186 @@
+// Package query implements the statistical-query interface of Section 1 of
+// the paper: a dataset x ∈ {0,1}^n is accessed only through a mechanism
+// that answers subset-sum queries q ⊆ [n] with an estimate of Σ_{i∈q} x_i.
+//
+// The package provides exact, bounded-error and Laplace-noised oracles, a
+// query-budget wrapper, and workload generators. Reconstruction attacks
+// (package recon) and the predicate-singling-out experiments (package pso)
+// are written against the Oracle interface, so the same attack code runs
+// against every defense.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"singlingout/internal/dist"
+)
+
+// ErrBudgetExhausted is returned by a budgeted oracle once the allowed
+// number of queries has been spent.
+var ErrBudgetExhausted = errors.New("query: query budget exhausted")
+
+// Oracle answers subset-sum queries over a hidden binary dataset.
+type Oracle interface {
+	// SubsetSum returns an estimate of Σ_{i∈q} x_i. Implementations define
+	// their own error guarantee.
+	SubsetSum(q []int) (float64, error)
+	// N returns the number of records in the hidden dataset.
+	N() int
+}
+
+// Exact answers every query with the true sum — the "blatantly non-private"
+// end of the spectrum.
+type Exact struct {
+	X []int64
+}
+
+// SubsetSum implements Oracle with zero error.
+func (e *Exact) SubsetSum(q []int) (float64, error) {
+	s, err := trueSum(e.X, q)
+	return float64(s), err
+}
+
+// N implements Oracle.
+func (e *Exact) N() int { return len(e.X) }
+
+// BoundedNoise answers with the true sum plus independent uniform noise in
+// [-Alpha, Alpha] — the "within error α" oracle of Theorem 1.1.
+type BoundedNoise struct {
+	X     []int64
+	Alpha float64
+	Rng   *rand.Rand
+}
+
+// SubsetSum implements Oracle with |answer - truth| <= Alpha.
+func (b *BoundedNoise) SubsetSum(q []int) (float64, error) {
+	s, err := trueSum(b.X, q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(s) + (2*b.Rng.Float64()-1)*b.Alpha, nil
+}
+
+// N implements Oracle.
+func (b *BoundedNoise) N() int { return len(b.X) }
+
+// Laplace answers with the true sum plus Laplace(1/Eps) noise. Each answer
+// individually satisfies Eps-differential privacy (the subset-sum of a
+// binary dataset has sensitivity 1); callers issuing k queries consume
+// k·Eps of budget under basic composition.
+type Laplace struct {
+	X   []int64
+	Eps float64
+	Rng *rand.Rand
+}
+
+// SubsetSum implements Oracle with Laplace noise.
+func (l *Laplace) SubsetSum(q []int) (float64, error) {
+	s, err := trueSum(l.X, q)
+	if err != nil {
+		return 0, err
+	}
+	return float64(s) + dist.Laplace(l.Rng, 1/l.Eps), nil
+}
+
+// N implements Oracle.
+func (l *Laplace) N() int { return len(l.X) }
+
+// Budgeted wraps an oracle and fails after Limit queries, modeling the
+// "limit the number of queries" defense discussed alongside Theorem 1.1.
+type Budgeted struct {
+	Inner Oracle
+	Limit int
+	used  int
+}
+
+// SubsetSum implements Oracle, debiting one query from the budget.
+func (b *Budgeted) SubsetSum(q []int) (float64, error) {
+	if b.used >= b.Limit {
+		return 0, ErrBudgetExhausted
+	}
+	b.used++
+	return b.Inner.SubsetSum(q)
+}
+
+// N implements Oracle.
+func (b *Budgeted) N() int { return b.Inner.N() }
+
+// Used returns the number of queries spent so far.
+func (b *Budgeted) Used() int { return b.used }
+
+func trueSum(x []int64, q []int) (int64, error) {
+	var s int64
+	for _, i := range q {
+		if i < 0 || i >= len(x) {
+			return 0, fmt.Errorf("query: index %d outside dataset of size %d", i, len(x))
+		}
+		s += x[i]
+	}
+	return s, nil
+}
+
+// RandomSubsets draws m independent uniformly random subsets of [n] (each
+// element included with probability 1/2) — the standard workload of the
+// polynomial Dinur–Nissim attack.
+func RandomSubsets(rng *rand.Rand, n, m int) [][]int {
+	qs := make([][]int, m)
+	for j := range qs {
+		var q []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				q = append(q, i)
+			}
+		}
+		qs[j] = q
+	}
+	return qs
+}
+
+// AllSubsets enumerates every subset of [n]; it panics if n > 24 to avoid
+// accidental exponential blow-ups. Used by the exhaustive attack (E1) at
+// small n.
+func AllSubsets(n int) [][]int {
+	if n > 24 {
+		panic("query: AllSubsets limited to n <= 24")
+	}
+	out := make([][]int, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var q []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				q = append(q, i)
+			}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// MaxError reports the largest absolute deviation of the oracle's answers
+// from the true sums over the given workload. It is the empirical α.
+func MaxError(o Oracle, x []int64, queries [][]int) (float64, error) {
+	worst := 0.0
+	for _, q := range queries {
+		a, err := o.SubsetSum(q)
+		if err != nil {
+			return 0, err
+		}
+		s, err := trueSum(x, q)
+		if err != nil {
+			return 0, err
+		}
+		if d := abs(a - float64(s)); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

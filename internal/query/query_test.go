@@ -1,0 +1,161 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"singlingout/internal/synth"
+)
+
+func TestExactOracle(t *testing.T) {
+	x := []int64{1, 0, 1, 1, 0}
+	o := &Exact{X: x}
+	if o.N() != 5 {
+		t.Fatalf("N = %d", o.N())
+	}
+	got, err := o.SubsetSum([]int{0, 2, 3})
+	if err != nil || got != 3 {
+		t.Errorf("SubsetSum = %v, %v", got, err)
+	}
+	got, err = o.SubsetSum(nil)
+	if err != nil || got != 0 {
+		t.Errorf("empty query = %v, %v", got, err)
+	}
+	if _, err := o.SubsetSum([]int{5}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := o.SubsetSum([]int{-1}); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestBoundedNoiseWithinAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := synth.BinaryDataset(rng, 100, 0.5)
+	o := &BoundedNoise{X: x, Alpha: 3, Rng: rng}
+	exact := &Exact{X: x}
+	for trial := 0; trial < 500; trial++ {
+		q := RandomSubsets(rng, 100, 1)[0]
+		noisy, err := o.SubsetSum(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := exact.SubsetSum(q)
+		if math.Abs(noisy-truth) > 3 {
+			t.Fatalf("noise exceeded alpha: %v vs %v", noisy, truth)
+		}
+	}
+}
+
+func TestLaplaceOracleNoiseScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := synth.BinaryDataset(rng, 50, 0.5)
+	o := &Laplace{X: x, Eps: 0.5, Rng: rng}
+	exact := &Exact{X: x}
+	q := RandomSubsets(rng, 50, 1)[0]
+	truth, _ := exact.SubsetSum(q)
+	var sumAbs float64
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		a, err := o.SubsetSum(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumAbs += math.Abs(a - truth)
+	}
+	// E|Lap(1/eps)| = 1/eps = 2.
+	if got := sumAbs / trials; math.Abs(got-2) > 0.1 {
+		t.Errorf("mean |noise| = %v, want ~2", got)
+	}
+}
+
+func TestBudgetedOracle(t *testing.T) {
+	x := []int64{1, 1}
+	b := &Budgeted{Inner: &Exact{X: x}, Limit: 2}
+	if b.N() != 2 {
+		t.Fatalf("N = %d", b.N())
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.SubsetSum([]int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.SubsetSum([]int{0}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("expected budget exhaustion, got %v", err)
+	}
+	if b.Used() != 2 {
+		t.Errorf("Used = %d", b.Used())
+	}
+}
+
+func TestRandomSubsetsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	qs := RandomSubsets(rng, 200, 50)
+	if len(qs) != 50 {
+		t.Fatalf("m = %d", len(qs))
+	}
+	total := 0
+	for _, q := range qs {
+		for i := 1; i < len(q); i++ {
+			if q[i] <= q[i-1] {
+				t.Fatal("subset indices must be strictly increasing")
+			}
+		}
+		total += len(q)
+	}
+	mean := float64(total) / 50
+	if math.Abs(mean-100) > 10 {
+		t.Errorf("mean subset size = %v, want ~100", mean)
+	}
+}
+
+func TestAllSubsets(t *testing.T) {
+	qs := AllSubsets(3)
+	if len(qs) != 8 {
+		t.Fatalf("|subsets| = %d", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		key := ""
+		for _, i := range q {
+			key += string(rune('a' + i))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate subset %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestAllSubsetsPanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AllSubsets(25)
+}
+
+func TestMaxError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := synth.BinaryDataset(rng, 64, 0.5)
+	queries := RandomSubsets(rng, 64, 200)
+	exactErr, err := MaxError(&Exact{X: x}, x, queries)
+	if err != nil || exactErr != 0 {
+		t.Errorf("exact oracle max error = %v, %v", exactErr, err)
+	}
+	noisyErr, err := MaxError(&BoundedNoise{X: x, Alpha: 2, Rng: rng}, x, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisyErr <= 0 || noisyErr > 2 {
+		t.Errorf("bounded oracle max error = %v, want in (0,2]", noisyErr)
+	}
+	// Budget exhaustion propagates.
+	b := &Budgeted{Inner: &Exact{X: x}, Limit: 10}
+	if _, err := MaxError(b, x, queries); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("expected budget error, got %v", err)
+	}
+}

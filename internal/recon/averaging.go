@@ -1,0 +1,36 @@
+package recon
+
+import (
+	"fmt"
+
+	"singlingout/internal/query"
+)
+
+// AveragingAttack is the most elementary reconstruction attack: ask each
+// singleton query {i} repeatedly and average the answers. Against a
+// mechanism with fresh unbiased noise (e.g. the Laplace oracle with a
+// fixed per-query epsilon and no budget), the average converges to the
+// true bit — which is exactly why real systems must limit queries,
+// account for budget across queries (dp.Accountant), or make noise sticky
+// (diffix.Cloak, where this attack collects the same answer forever).
+func AveragingAttack(o query.Oracle, repeats int) ([]int64, error) {
+	if repeats <= 0 {
+		return nil, fmt.Errorf("recon: averaging attack needs positive repeats")
+	}
+	n := o.N()
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for r := 0; r < repeats; r++ {
+			a, err := o.SubsetSum([]int{i})
+			if err != nil {
+				return nil, fmt.Errorf("recon: averaging attack: %w", err)
+			}
+			sum += a
+		}
+		if sum/float64(repeats) >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+// Package recon_test (external) lets the averaging tests exercise the
+// attack against the diffix package, which itself imports recon.
+package recon_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"singlingout/internal/diffix"
+	"singlingout/internal/query"
+	"singlingout/internal/recon"
+	"singlingout/internal/synth"
+)
+
+func TestAveragingDefeatsFreshNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := synth.BinaryDataset(rng, 40, 0.5)
+	// Laplace noise with per-query eps=0.5 and NO budget: 200 repeats
+	// average the noise away.
+	o := &query.Laplace{X: x, Eps: 0.5, Rng: rng}
+	got, err := recon.AveragingAttack(o, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := recon.HammingError(x, got); e > 0.05 {
+		t.Errorf("averaging error = %v, want ~0 (this is why budgets exist)", e)
+	}
+}
+
+func TestAveragingBlockedByBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := synth.BinaryDataset(rng, 40, 0.5)
+	o := &query.Budgeted{Inner: &query.Laplace{X: x, Eps: 0.5, Rng: rng}, Limit: 100}
+	if _, err := recon.AveragingAttack(o, 200); err == nil {
+		t.Error("budget should block the averaging attack")
+	}
+}
+
+func TestAveragingBlockedByStickyNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	x := synth.BinaryDataset(rng, n, 0.5)
+	// Sticky noise with SD comfortably above 1/2: repeating the query
+	// returns the same wrong answer, so averaging gains nothing.
+	c := &diffix.Cloak{X: x, SD: 2, Threshold: 0, Seed: 9}
+	got, err := recon.AveragingAttack(c, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := recon.HammingError(x, got); e < 0.10 {
+		t.Errorf("averaging against sticky noise error = %v; expected it to stay high", e)
+	}
+}
+
+func TestAveragingValidation(t *testing.T) {
+	if _, err := recon.AveragingAttack(&query.Exact{X: []int64{1}}, 0); err == nil {
+		t.Error("zero repeats should fail")
+	}
+}

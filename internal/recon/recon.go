@@ -1,0 +1,190 @@
+// Package recon implements the Dinur–Nissim database reconstruction
+// attacks of Theorem 1.1: the exhaustive-search attack that works against
+// any mechanism with o(n) error given enough subset queries, and the
+// polynomial-time linear-programming decoding attack that defeats error up
+// to o(√n). Both are written against the query.Oracle interface, so the
+// same attack code runs against exact, bounded-error, Laplace-noised and
+// budgeted mechanisms.
+package recon
+
+import (
+	"fmt"
+	"math"
+
+	"singlingout/internal/lp"
+	"singlingout/internal/query"
+)
+
+// HammingError returns the fraction of positions where the reconstruction
+// disagrees with the truth. A mechanism is "blatantly non-private" when an
+// attacker achieves error below 5% (the paper's figure).
+func HammingError(truth, recon []int64) float64 {
+	if len(truth) != len(recon) {
+		panic("recon: HammingError on mismatched lengths")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	wrong := 0
+	for i := range truth {
+		if truth[i] != recon[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(truth))
+}
+
+// Exhaustive mounts the Theorem 1.1(i)-style attack: it collects the
+// oracle's answers on the given workload and searches all 2^n candidate
+// databases for one consistent with every answer to within alpha,
+// returning the first such candidate. It requires n <= 24.
+//
+// The theorem's guarantee: if the oracle's error is at most alpha on every
+// query, the true database is itself consistent, and any consistent
+// candidate can disagree with the truth only on O(alpha) entries.
+func Exhaustive(o query.Oracle, queries [][]int, alpha float64) ([]int64, error) {
+	n := o.N()
+	if n > 24 {
+		return nil, fmt.Errorf("recon: exhaustive attack limited to n <= 24, got %d", n)
+	}
+	answers := make([]float64, len(queries))
+	masks := make([]uint32, len(queries))
+	for qi, q := range queries {
+		a, err := o.SubsetSum(q)
+		if err != nil {
+			return nil, fmt.Errorf("recon: oracle failed: %w", err)
+		}
+		answers[qi] = a
+		var m uint32
+		for _, i := range q {
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("recon: query index %d out of range", i)
+			}
+			m |= 1 << uint(i)
+		}
+		masks[qi] = m
+	}
+	for cand := uint32(0); cand < 1<<uint(n); cand++ {
+		ok := true
+		for qi := range masks {
+			s := float64(popcount32(cand & masks[qi]))
+			if math.Abs(s-answers[qi]) > alpha+1e-9 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x := make([]int64, n)
+			for i := 0; i < n; i++ {
+				if cand&(1<<uint(i)) != 0 {
+					x[i] = 1
+				}
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("recon: no candidate consistent within alpha = %v", alpha)
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// LPObjective selects the LP-decoding objective (an ablation axis).
+type LPObjective int
+
+// LP decoding objectives.
+const (
+	// L1Slack minimizes the sum of per-query violations (the formulation
+	// of Dwork–McSherry–Talwar LP decoding).
+	L1Slack LPObjective = iota
+	// Chebyshev minimizes the single largest violation.
+	Chebyshev
+)
+
+// LPDecode mounts the polynomial-time attack of Theorem 1.1(ii): it asks
+// the oracle the given queries and solves a linear program fitting a
+// fractional database x ∈ [0,1]^n to the answers, then rounds. It returns
+// the rounded reconstruction and the fractional LP solution.
+func LPDecode(o query.Oracle, queries [][]int, objective LPObjective) ([]int64, []float64, error) {
+	n := o.N()
+	m := len(queries)
+	if m == 0 {
+		return nil, nil, fmt.Errorf("recon: no queries")
+	}
+	answers := make([]float64, m)
+	for qi, q := range queries {
+		a, err := o.SubsetSum(q)
+		if err != nil {
+			return nil, nil, fmt.Errorf("recon: oracle failed: %w", err)
+		}
+		answers[qi] = a
+	}
+
+	var nv int
+	switch objective {
+	case L1Slack:
+		nv = n + m // x_0..x_{n-1}, e_0..e_{m-1}
+	case Chebyshev:
+		nv = n + 1 // x_0..x_{n-1}, t
+	default:
+		return nil, nil, fmt.Errorf("recon: unknown objective %d", objective)
+	}
+	obj := make([]float64, nv)
+	for j := n; j < nv; j++ {
+		obj[j] = 1
+	}
+	cons := make([]lp.Constraint, 0, 2*m+n)
+	slackCol := func(qi int) int {
+		if objective == L1Slack {
+			return n + qi
+		}
+		return n
+	}
+	for qi, q := range queries {
+		// Σ_{i∈q} x_i - e <= a   and   -Σ_{i∈q} x_i - e <= -a.
+		up := make([]float64, nv)
+		lo := make([]float64, nv)
+		for _, i := range q {
+			up[i] = 1
+			lo[i] = -1
+		}
+		up[slackCol(qi)] = -1
+		lo[slackCol(qi)] = -1
+		cons = append(cons,
+			lp.Constraint{Coeffs: up, Rel: lp.LE, RHS: answers[qi]},
+			lp.Constraint{Coeffs: lo, Rel: lp.LE, RHS: -answers[qi]},
+		)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, nv)
+		row[i] = 1
+		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
+	}
+	sol, err := lp.Solve(&lp.Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	if err != nil {
+		return nil, nil, fmt.Errorf("recon: LP solve: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil, fmt.Errorf("recon: LP status %v", sol.Status)
+	}
+	frac := make([]float64, n)
+	copy(frac, sol.X[:n])
+	return Round(frac), frac, nil
+}
+
+// Round converts a fractional database to binary by thresholding at 1/2.
+func Round(frac []float64) []int64 {
+	out := make([]int64, len(frac))
+	for i, v := range frac {
+		if v >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}

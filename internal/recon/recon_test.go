@@ -1,0 +1,207 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"singlingout/internal/query"
+	"singlingout/internal/synth"
+)
+
+func TestHammingError(t *testing.T) {
+	if got := HammingError([]int64{1, 0, 1, 0}, []int64{1, 1, 1, 1}); got != 0.5 {
+		t.Errorf("HammingError = %v, want 0.5", got)
+	}
+	if got := HammingError(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	HammingError([]int64{1}, []int64{1, 0})
+}
+
+func TestExhaustiveExactOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 12
+	x := synth.BinaryDataset(rng, n, 0.5)
+	queries := query.RandomSubsets(rng, n, 100)
+	got, err := Exhaustive(&query.Exact{X: x}, queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e > 0.01 {
+		t.Errorf("exact-oracle reconstruction error = %v, want ~0", e)
+	}
+}
+
+func TestExhaustiveBoundedNoise(t *testing.T) {
+	// Theorem 1.1(i): with small error the exhaustive attack reconstructs
+	// all but O(alpha) entries.
+	rng := rand.New(rand.NewSource(2))
+	n := 14
+	x := synth.BinaryDataset(rng, n, 0.5)
+	alpha := 1.0
+	queries := query.RandomSubsets(rng, n, 150)
+	o := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
+	got, err := Exhaustive(o, queries, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e > 0.25 {
+		t.Errorf("reconstruction error = %v, want small", e)
+	}
+}
+
+func TestExhaustiveRejectsLargeN(t *testing.T) {
+	x := make([]int64, 30)
+	if _, err := Exhaustive(&query.Exact{X: x}, nil, 0); err == nil {
+		t.Error("n > 24 should fail")
+	}
+}
+
+func TestExhaustiveBadQuery(t *testing.T) {
+	x := []int64{1, 0}
+	if _, err := Exhaustive(&query.Exact{X: x}, [][]int{{5}}, 0); err == nil {
+		t.Error("out-of-range query should fail")
+	}
+}
+
+func TestExhaustiveNoConsistentCandidate(t *testing.T) {
+	// An oracle whose answers are impossible (negative) admits no
+	// consistent candidate at alpha=0.1.
+	o := &lyingOracle{n: 4}
+	_, err := Exhaustive(o, [][]int{{0}, {1}}, 0.1)
+	if err == nil {
+		t.Error("expected no-candidate error")
+	}
+}
+
+type lyingOracle struct{ n int }
+
+func (l *lyingOracle) SubsetSum(q []int) (float64, error) { return -5, nil }
+func (l *lyingOracle) N() int                             { return l.n }
+
+func TestExhaustivePropagatesOracleError(t *testing.T) {
+	x := []int64{1, 0, 1}
+	b := &query.Budgeted{Inner: &query.Exact{X: x}, Limit: 1}
+	if _, err := Exhaustive(b, [][]int{{0}, {1}}, 0); err == nil {
+		t.Error("budget exhaustion should propagate")
+	}
+}
+
+func TestLPDecodeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 32
+	x := synth.BinaryDataset(rng, n, 0.5)
+	queries := query.RandomSubsets(rng, n, 4*n)
+	got, frac, err := LPDecode(&query.Exact{X: x}, queries, L1Slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e > 0.02 {
+		t.Errorf("LP reconstruction error vs exact oracle = %v", e)
+	}
+	if len(frac) != n {
+		t.Fatalf("frac len = %d", len(frac))
+	}
+	for i, v := range frac {
+		if v < -1e-6 || v > 1+1e-6 {
+			t.Errorf("frac[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestLPDecodeSmallNoiseReconstructs(t *testing.T) {
+	// Theorem 1.1(ii): error α = O(√n)/const with 4n random queries
+	// reconstructs all but a few percent of entries.
+	rng := rand.New(rand.NewSource(4))
+	n := 64
+	x := synth.BinaryDataset(rng, n, 0.5)
+	alpha := 0.25 * math.Sqrt(float64(n)) // = 2
+	queries := query.RandomSubsets(rng, n, 4*n)
+	o := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
+	got, _, err := LPDecode(o, queries, L1Slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e > 0.10 {
+		t.Errorf("LP reconstruction error = %v, want <= 0.10 at alpha=%v", e, alpha)
+	}
+}
+
+func TestLPDecodeLargeNoiseFails(t *testing.T) {
+	// The "fundamental law" flip side: with error ~n/3 the answers carry
+	// little information and reconstruction should approach coin-flipping.
+	rng := rand.New(rand.NewSource(5))
+	n := 48
+	x := synth.BinaryDataset(rng, n, 0.5)
+	queries := query.RandomSubsets(rng, n, 4*n)
+	o := &query.BoundedNoise{X: x, Alpha: float64(n) / 3, Rng: rng}
+	got, _, err := LPDecode(o, queries, L1Slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e < 0.15 {
+		t.Errorf("reconstruction error = %v under huge noise; defense should hold", e)
+	}
+}
+
+func TestLPDecodeChebyshev(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 32
+	x := synth.BinaryDataset(rng, n, 0.5)
+	queries := query.RandomSubsets(rng, n, 4*n)
+	o := &query.BoundedNoise{X: x, Alpha: 1.0, Rng: rng}
+	got, _, err := LPDecode(o, queries, Chebyshev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e > 0.15 {
+		t.Errorf("Chebyshev reconstruction error = %v", e)
+	}
+}
+
+func TestLPDecodeErrors(t *testing.T) {
+	x := []int64{1, 0}
+	if _, _, err := LPDecode(&query.Exact{X: x}, nil, L1Slack); err == nil {
+		t.Error("no queries should fail")
+	}
+	if _, _, err := LPDecode(&query.Exact{X: x}, [][]int{{0}}, LPObjective(99)); err == nil {
+		t.Error("unknown objective should fail")
+	}
+	b := &query.Budgeted{Inner: &query.Exact{X: x}, Limit: 0}
+	if _, _, err := LPDecode(b, [][]int{{0}}, L1Slack); err == nil {
+		t.Error("oracle error should propagate")
+	}
+}
+
+func TestRound(t *testing.T) {
+	got := Round([]float64{0, 0.49, 0.5, 0.51, 1})
+	want := []int64{0, 0, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Round[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLPDecodeAgainstLaplaceOracle(t *testing.T) {
+	// With a large privacy budget per query (eps high → little noise) the
+	// attack succeeds; this is the "overly accurate answers" regime.
+	rng := rand.New(rand.NewSource(7))
+	n := 48
+	x := synth.BinaryDataset(rng, n, 0.5)
+	queries := query.RandomSubsets(rng, n, 4*n)
+	o := &query.Laplace{X: x, Eps: 5, Rng: rng}
+	got, _, err := LPDecode(o, queries, L1Slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := HammingError(x, got); e > 0.10 {
+		t.Errorf("high-eps Laplace reconstruction error = %v", e)
+	}
+}

@@ -1,0 +1,309 @@
+// Package reident implements the re-identification attacks the paper's
+// introduction surveys: Sweeney's quasi-identifier uniqueness analysis and
+// linkage attack on de-identified microdata (the GIC episode), and a
+// Narayanan–Shmatikov style scoreboard attack on sparse ratings data (the
+// Netflix episode).
+package reident
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/synth"
+)
+
+// UniquenessReport summarizes how identifying a quasi-identifier
+// combination is within a dataset.
+type UniquenessReport struct {
+	// Records is the dataset size.
+	Records int
+	// Unique counts records whose QI combination appears exactly once —
+	// Sweeney's headline statistic ("87% of the US population is unique
+	// under (ZIP, birth date, sex)").
+	Unique int
+	// ClassSizes histograms QI-combination multiplicities: ClassSizes[s]
+	// is the number of combinations shared by exactly s records.
+	ClassSizes map[int]int
+}
+
+// UniqueFraction returns Unique / Records.
+func (u UniquenessReport) UniqueFraction() float64 {
+	if u.Records == 0 {
+		return 0
+	}
+	return float64(u.Unique) / float64(u.Records)
+}
+
+// Uniqueness measures QI uniqueness of the dataset under the given
+// attribute indices.
+func Uniqueness(d *dataset.Dataset, qi []int) UniquenessReport {
+	counts := map[string]int{}
+	for _, r := range d.Rows {
+		counts[r.Key(qi)]++
+	}
+	rep := UniquenessReport{Records: d.Len(), ClassSizes: map[int]int{}}
+	for _, c := range counts {
+		rep.ClassSizes[c]++
+		if c == 1 {
+			rep.Unique += c
+		}
+	}
+	return rep
+}
+
+// LinkageResult summarizes a Sweeney-style linkage attack.
+type LinkageResult struct {
+	// Released is the number of de-identified records attacked.
+	Released int
+	// UniqueMatches counts released records matching exactly one registry
+	// identity on the QI.
+	UniqueMatches int
+	// Correct counts unique matches that identify the right person.
+	Correct int
+}
+
+// MatchRate returns UniqueMatches / Released.
+func (l LinkageResult) MatchRate() float64 {
+	if l.Released == 0 {
+		return 0
+	}
+	return float64(l.UniqueMatches) / float64(l.Released)
+}
+
+// Precision returns Correct / UniqueMatches.
+func (l LinkageResult) Precision() float64 {
+	if l.UniqueMatches == 0 {
+		return 0
+	}
+	return float64(l.Correct) / float64(l.UniqueMatches)
+}
+
+// Linkage mounts the GIC attack: released is a de-identified dataset whose
+// row indices coincide with population identities (names redacted but rows
+// intact, as in the GIC release); registry is an identified dataset built
+// by synth.Registry. Records are matched on the shared quasi-identifiers
+// (ZIP, birth date, sex).
+func Linkage(released *dataset.Dataset, registry *dataset.Dataset) (LinkageResult, error) {
+	relQI, err := indicesOf(released.Schema, synth.AttrZIP, synth.AttrBirthDate, synth.AttrSex)
+	if err != nil {
+		return LinkageResult{}, err
+	}
+	regQI, err := indicesOf(registry.Schema, synth.AttrZIP, synth.AttrBirthDate, synth.AttrSex)
+	if err != nil {
+		return LinkageResult{}, err
+	}
+	pid := registry.Schema.MustIndex(synth.RegistryPersonID)
+	regIndex := map[string][]int64{}
+	for _, row := range registry.Rows {
+		key := fmt.Sprintf("%d|%d|%d|", row[regQI[0]], row[regQI[1]], row[regQI[2]])
+		regIndex[key] = append(regIndex[key], row[pid])
+	}
+	var res LinkageResult
+	for i, row := range released.Rows {
+		res.Released++
+		key := fmt.Sprintf("%d|%d|%d|", row[relQI[0]], row[relQI[1]], row[relQI[2]])
+		cands := regIndex[key]
+		if len(cands) != 1 {
+			continue
+		}
+		res.UniqueMatches++
+		if cands[0] == int64(i) {
+			res.Correct++
+		}
+	}
+	return res, nil
+}
+
+func indicesOf(s *dataset.Schema, names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for j, n := range names {
+		i, ok := s.Index(n)
+		if !ok {
+			return nil, fmt.Errorf("reident: schema lacks attribute %q", n)
+		}
+		out[j] = i
+	}
+	return out, nil
+}
+
+// AuxiliaryRating is a noisy observation of a target's rating, the
+// attacker's background knowledge in the scoreboard attack (e.g. from
+// public IMDb reviews: correct movie, approximate date, approximate
+// stars).
+type AuxiliaryRating struct {
+	Movie     int
+	Stars     int
+	Day       int
+	StarsSlop int // |observed - true| stars tolerance
+	DaySlop   int // |observed - true| days tolerance
+}
+
+// Scoreboard is the Narayanan–Shmatikov de-anonymization scorer over a
+// released (pseudonymized) ratings matrix.
+type Scoreboard struct {
+	Released *synth.Ratings
+	// StarsSlop and DaySlop define when an auxiliary rating "matches" a
+	// released rating.
+	StarsSlop int
+	DaySlop   int
+	// Eccentricity is the minimum gap, in standard deviations of the
+	// score distribution, between best and second-best candidate for a
+	// match to be declared (1.5 in the original paper).
+	Eccentricity float64
+}
+
+// scoreUser computes the similarity between the auxiliary information and
+// one released user's ratings: each matching movie contributes weight
+// inversely log-proportional to the movie's popularity (rare movies are
+// strong identifiers).
+func (sb *Scoreboard) scoreUser(aux []AuxiliaryRating, user []synth.Rating, popularity []int) float64 {
+	byMovie := map[int]synth.Rating{}
+	for _, r := range user {
+		byMovie[r.Movie] = r
+	}
+	score := 0.0
+	for _, a := range aux {
+		r, ok := byMovie[a.Movie]
+		if !ok {
+			continue
+		}
+		if abs(r.Stars-a.Stars) > sb.StarsSlop+a.StarsSlop {
+			continue
+		}
+		if abs(r.Day-a.Day) > sb.DaySlop+a.DaySlop {
+			continue
+		}
+		p := popularity[a.Movie]
+		if p < 1 {
+			p = 1
+		}
+		score += 1 / math.Log(1+float64(p))
+	}
+	return score
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Identify runs the scoreboard over all released users and returns the
+// best candidate index, or -1 if the best score is not sufficiently
+// eccentric (the algorithm's abstention rule).
+func (sb *Scoreboard) Identify(aux []AuxiliaryRating) int {
+	popularity := make([]int, sb.Released.NumMovies)
+	for _, user := range sb.Released.ByUser {
+		for _, r := range user {
+			popularity[r.Movie]++
+		}
+	}
+	scores := make([]float64, sb.Released.NumUsers)
+	for u, user := range sb.Released.ByUser {
+		scores[u] = sb.scoreUser(aux, user, popularity)
+	}
+	best, second := -1, -1
+	for u, s := range scores {
+		switch {
+		case best < 0 || s > scores[best]:
+			second = best
+			best = u
+		case second < 0 || s > scores[second]:
+			second = u
+		}
+	}
+	if best < 0 || scores[best] == 0 {
+		return -1
+	}
+	// Eccentricity test: (best - second) / stddev(scores).
+	sd := stddev(scores)
+	if sd == 0 {
+		return -1
+	}
+	secondScore := 0.0
+	if second >= 0 {
+		secondScore = scores[second]
+	}
+	if (scores[best]-secondScore)/sd < sb.Eccentricity {
+		return -1
+	}
+	return best
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs)-1))
+}
+
+// SampleAuxiliary simulates the attacker's background knowledge about a
+// target user: k of the target's ratings chosen at random, with stars and
+// days perturbed within the given slops (some knowledge is imprecise, as
+// in the original attack's IMDb matching).
+func SampleAuxiliary(rng *rand.Rand, ratings *synth.Ratings, user, k, starsSlop, daySlop int) []AuxiliaryRating {
+	rs := ratings.ByUser[user]
+	idx := rng.Perm(len(rs))
+	if k > len(rs) {
+		k = len(rs)
+	}
+	aux := make([]AuxiliaryRating, 0, k)
+	for _, i := range idx[:k] {
+		r := rs[i]
+		aux = append(aux, AuxiliaryRating{
+			Movie:     r.Movie,
+			Stars:     clamp(r.Stars+rng.Intn(2*starsSlop+1)-starsSlop, 1, 5),
+			Day:       r.Day + rng.Intn(2*daySlop+1) - daySlop,
+			StarsSlop: starsSlop,
+			DaySlop:   daySlop,
+		})
+	}
+	sort.Slice(aux, func(i, j int) bool { return aux[i].Movie < aux[j].Movie })
+	return aux
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DeAnonymizationRate runs the scoreboard attack against `targets` random
+// users with k auxiliary ratings each and returns the fraction correctly
+// identified and the fraction incorrectly identified (non-abstaining but
+// wrong).
+func DeAnonymizationRate(rng *rand.Rand, ratings *synth.Ratings, sb *Scoreboard, targets, k int) (correct, wrong float64) {
+	if targets <= 0 {
+		return 0, 0
+	}
+	nCorrect, nWrong := 0, 0
+	for t := 0; t < targets; t++ {
+		user := rng.Intn(ratings.NumUsers)
+		aux := SampleAuxiliary(rng, ratings, user, k, sb.StarsSlop, sb.DaySlop)
+		got := sb.Identify(aux)
+		switch {
+		case got == user:
+			nCorrect++
+		case got >= 0:
+			nWrong++
+		}
+	}
+	return float64(nCorrect) / float64(targets), float64(nWrong) / float64(targets)
+}

@@ -1,0 +1,184 @@
+package reident
+
+import (
+	"math/rand"
+	"testing"
+
+	"singlingout/internal/dataset"
+	"singlingout/internal/synth"
+)
+
+func TestUniquenessSweeneyStyle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 10000, ZIPs: 20, BlocksPerZIP: 10})
+	qi := []int{
+		pop.Schema.MustIndex(synth.AttrZIP),
+		pop.Schema.MustIndex(synth.AttrBirthDate),
+		pop.Schema.MustIndex(synth.AttrSex),
+	}
+	rep := Uniqueness(pop, qi)
+	if rep.Records != 10000 {
+		t.Fatalf("Records = %d", rep.Records)
+	}
+	// The paper: (ZIP, birth date, sex) is unique for a vast majority.
+	if rep.UniqueFraction() < 0.85 {
+		t.Errorf("unique fraction = %v, want >= 0.85", rep.UniqueFraction())
+	}
+	// Class-size histogram must account for every record.
+	total := 0
+	for size, count := range rep.ClassSizes {
+		total += size * count
+	}
+	if total != 10000 {
+		t.Errorf("class sizes cover %d records", total)
+	}
+}
+
+func TestUniquenessCoarseQILessUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 10000, ZIPs: 5, BlocksPerZIP: 5})
+	zipI := pop.Schema.MustIndex(synth.AttrZIP)
+	sexI := pop.Schema.MustIndex(synth.AttrSex)
+	ageI := pop.Schema.MustIndex(synth.AttrAge)
+	fine := Uniqueness(pop, []int{zipI, pop.Schema.MustIndex(synth.AttrBirthDate), sexI})
+	coarse := Uniqueness(pop, []int{zipI, ageI, sexI})
+	if coarse.UniqueFraction() >= fine.UniqueFraction() {
+		t.Errorf("coarse QI (%v) should be less unique than fine QI (%v)",
+			coarse.UniqueFraction(), fine.UniqueFraction())
+	}
+	if got := Uniqueness(dataset.New(pop.Schema), []int{zipI}); got.UniqueFraction() != 0 {
+		t.Error("empty dataset should report 0")
+	}
+}
+
+func TestLinkageGICAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 8000, ZIPs: 15, BlocksPerZIP: 10})
+	reg, _ := synth.Registry(rng, pop, 0.6)
+	res, err := Linkage(pop, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Released != 8000 {
+		t.Fatalf("Released = %d", res.Released)
+	}
+	// With 60% registry coverage, roughly coverage × uniqueness of the
+	// released population should uniquely match.
+	if res.MatchRate() < 0.4 {
+		t.Errorf("match rate = %v, want >= 0.4", res.MatchRate())
+	}
+	// Unique QI matches are correct identifications unless two people
+	// share a QI combination; precision should be near 1.
+	if res.Precision() < 0.98 {
+		t.Errorf("precision = %v, want ~1", res.Precision())
+	}
+	if res.Correct > res.UniqueMatches || res.UniqueMatches > res.Released {
+		t.Fatalf("inconsistent result %+v", res)
+	}
+}
+
+func TestLinkageMissingAttribute(t *testing.T) {
+	s := dataset.MustSchema(dataset.Attribute{Name: "x", Kind: dataset.Int, Min: 0, Max: 1})
+	d := dataset.New(s)
+	if _, err := Linkage(d, d); err == nil {
+		t.Error("missing QI attributes should fail")
+	}
+	var zero LinkageResult
+	if zero.MatchRate() != 0 || zero.Precision() != 0 {
+		t.Error("zero-value rates should be 0")
+	}
+}
+
+func TestScoreboardIdentifiesWithGoodAux(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ratings, _ := synth.GenerateRatings(rng, synth.RatingsConfig{
+		Users: 400, Movies: 300, MeanRatings: 25, Days: 1000,
+	})
+	sb := &Scoreboard{Released: ratings, StarsSlop: 1, DaySlop: 14, Eccentricity: 1.5}
+	correct, wrong := DeAnonymizationRate(rng, ratings, sb, 40, 8)
+	// Narayanan–Shmatikov: 8 ratings with dates suffice for the vast
+	// majority of users.
+	if correct < 0.8 {
+		t.Errorf("de-anonymization rate = %v, want >= 0.8", correct)
+	}
+	if wrong > 0.05 {
+		t.Errorf("wrong identification rate = %v, want ~0", wrong)
+	}
+}
+
+func TestScoreboardFewerAuxRatingsWeaker(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ratings, _ := synth.GenerateRatings(rng, synth.RatingsConfig{
+		Users: 400, Movies: 300, MeanRatings: 25, Days: 1000,
+	})
+	sb := &Scoreboard{Released: ratings, StarsSlop: 1, DaySlop: 14, Eccentricity: 1.5}
+	correct8, _ := DeAnonymizationRate(rng, ratings, sb, 30, 8)
+	// A weak attacker: one rating, with timing information useless (slop
+	// spans the whole rating period).
+	weak := &Scoreboard{Released: ratings, StarsSlop: 1, DaySlop: 2000, Eccentricity: 1.5}
+	correct1, _ := DeAnonymizationRate(rng, ratings, weak, 30, 1)
+	if correct1 >= correct8 {
+		t.Errorf("1 dateless aux rating (%v) should underperform 8 dated ones (%v)", correct1, correct8)
+	}
+	if correct1 > 0.5 {
+		t.Errorf("1 dateless aux rating identifies %v, want < 0.5", correct1)
+	}
+}
+
+func TestScoreboardAbstainsWithUselessAux(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ratings, _ := synth.GenerateRatings(rng, synth.RatingsConfig{
+		Users: 200, Movies: 100, MeanRatings: 15, Days: 500,
+	})
+	sb := &Scoreboard{Released: ratings, StarsSlop: 1, DaySlop: 14, Eccentricity: 1.5}
+	// Auxiliary info about a movie nobody can match: out-of-range days.
+	aux := []AuxiliaryRating{{Movie: 0, Stars: 3, Day: 99999}}
+	if got := sb.Identify(aux); got != -1 {
+		t.Errorf("Identify = %d, want abstention (-1)", got)
+	}
+	if got := sb.Identify(nil); got != -1 {
+		t.Errorf("Identify(nil) = %d, want -1", got)
+	}
+}
+
+func TestSampleAuxiliaryWithinSlop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ratings, _ := synth.GenerateRatings(rng, synth.RatingsConfig{
+		Users: 10, Movies: 50, MeanRatings: 10, Days: 100,
+	})
+	aux := SampleAuxiliary(rng, ratings, 0, 5, 1, 3)
+	if len(aux) == 0 {
+		t.Fatal("no auxiliary ratings sampled")
+	}
+	byMovie := map[int]synth.Rating{}
+	for _, r := range ratings.ByUser[0] {
+		byMovie[r.Movie] = r
+	}
+	for _, a := range aux {
+		truth, ok := byMovie[a.Movie]
+		if !ok {
+			t.Fatalf("aux movie %d not rated by target", a.Movie)
+		}
+		if abs(a.Stars-truth.Stars) > 1+1 { // slop + clamping headroom
+			t.Errorf("stars perturbed too far: %d vs %d", a.Stars, truth.Stars)
+		}
+		if abs(a.Day-truth.Day) > 3 {
+			t.Errorf("day perturbed too far: %d vs %d", a.Day, truth.Day)
+		}
+	}
+	// Requesting more aux than the user has ratings clamps gracefully.
+	many := SampleAuxiliary(rng, ratings, 0, 10000, 1, 3)
+	if len(many) != len(ratings.ByUser[0]) {
+		t.Errorf("aux len = %d, want all %d", len(many), len(ratings.ByUser[0]))
+	}
+}
+
+func TestDeAnonymizationRateZeroTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ratings, _ := synth.GenerateRatings(rng, synth.RatingsConfig{Users: 5, Movies: 10, MeanRatings: 3, Days: 10})
+	sb := &Scoreboard{Released: ratings, Eccentricity: 1.5}
+	c, w := DeAnonymizationRate(rng, ratings, sb, 0, 3)
+	if c != 0 || w != 0 {
+		t.Error("zero targets should return zeros")
+	}
+}

@@ -1,0 +1,34 @@
+package sat_test
+
+import (
+	"fmt"
+
+	"singlingout/internal/sat"
+)
+
+// Example encodes "exactly two of four lamps are on, lamp 1 is off" and
+// reads a model.
+func Example() {
+	s := sat.New()
+	lamps := make([]int, 4)
+	for i := range lamps {
+		lamps[i] = s.NewVar()
+	}
+	if err := s.ExactlyK(lamps, 2); err != nil {
+		panic(err)
+	}
+	if err := s.AddClause(-lamps[0]); err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Solve())
+	on := 0
+	for _, v := range lamps {
+		if s.Value(v) {
+			on++
+		}
+	}
+	fmt.Println("lamps on:", on, "| lamp 1 on:", s.Value(lamps[0]))
+	// Output:
+	// sat
+	// lamps on: 2 | lamp 1 on: false
+}

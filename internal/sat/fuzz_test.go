@@ -1,0 +1,58 @@
+package sat
+
+import "testing"
+
+// FuzzSolver feeds random clause streams to the solver and cross-checks
+// satisfiable verdicts by evaluating the returned model.
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 255, 3, 0})
+	f.Add([]byte{1, 0, 255, 1, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nVars = 6
+		s := New()
+		s.MaxConflicts = 10000
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var clauses [][]int
+		var cur []int
+		for _, b := range data {
+			if b == 0 {
+				if len(cur) > 0 {
+					lits := append([]int(nil), cur...)
+					if err := s.AddClause(lits...); err != nil {
+						t.Fatalf("AddClause(%v): %v", lits, err)
+					}
+					clauses = append(clauses, lits)
+					cur = cur[:0]
+				}
+				continue
+			}
+			v := int(b%nVars) + 1
+			if b >= 128 {
+				v = -v
+			}
+			cur = append(cur, v)
+		}
+		if got := s.Solve(); got == Sat {
+			// The model must satisfy every recorded clause.
+			for _, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("model violates clause %v", cl)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCardinalityAgainstBruteForceQuick property-tests the sequential
+// counter: for random (n, k, forced assignments), the encoding must admit
+// exactly the assignments whose popcount satisfies the bound.
+func TestCardinalityAgainstBruteForceQuick(t *testing.T) {
+	check := func(mode uint8, nRaw, kRaw, forceMask, forceVal uint8) bool {
+		n := int(nRaw%7) + 1
+		k := int(kRaw) % (n + 2)
+		s := New()
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		var err error
+		switch mode % 3 {
+		case 0:
+			err = s.AtMostK(vars, k)
+		case 1:
+			err = s.AtLeastK(vars, k)
+		default:
+			err = s.ExactlyK(vars, k)
+		}
+		if err != nil {
+			return false
+		}
+		// Force some variables to fixed values.
+		for i := 0; i < n; i++ {
+			if forceMask&(1<<uint(i)) == 0 {
+				continue
+			}
+			lit := vars[i]
+			if forceVal&(1<<uint(i)) == 0 {
+				lit = -lit
+			}
+			if err := s.AddClause(lit); err != nil {
+				return false
+			}
+		}
+		got := s.Solve() == Sat
+		// Brute force over all assignments consistent with the forcing.
+		want := false
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			okForce := true
+			pop := 0
+			for i := 0; i < n; i++ {
+				bit := mask&(1<<uint(i)) != 0
+				if bit {
+					pop++
+				}
+				if forceMask&(1<<uint(i)) != 0 && bit != (forceVal&(1<<uint(i)) != 0) {
+					okForce = false
+					break
+				}
+			}
+			if !okForce {
+				continue
+			}
+			var sat bool
+			switch mode % 3 {
+			case 0:
+				sat = pop <= k
+			case 1:
+				sat = pop >= k
+			default:
+				sat = pop == k
+			}
+			if sat {
+				want = true
+				break
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

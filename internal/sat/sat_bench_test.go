@@ -1,0 +1,78 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		holes := 7
+		pigeons := holes + 1
+		s := New()
+		p := make([][]int, pigeons)
+		for pi := range p {
+			p[pi] = make([]int, holes)
+			for j := range p[pi] {
+				p[pi][j] = s.NewVar()
+			}
+			if err := s.AddClause(p[pi]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < holes; j++ {
+			for x := 0; x < pigeons; x++ {
+				for y := x + 1; y < pigeons; y++ {
+					if err := s.AddClause(-p[x][j], -p[y][j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			b.Fatalf("got %v", got)
+		}
+	}
+}
+
+func BenchmarkRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		n := 120
+		m := int(4.1 * float64(n))
+		s := New()
+		for v := 0; v < n; v++ {
+			s.NewVar()
+		}
+		for k := 0; k < m; k++ {
+			cl := make([]int, 3)
+			for j := range cl {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			if err := s.AddClause(cl...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Solve()
+	}
+}
+
+func BenchmarkExactlyKEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		vars := make([]int, 500)
+		for j := range vars {
+			vars[j] = s.NewVar()
+		}
+		if err := s.ExactlyK(vars, 7); err != nil {
+			b.Fatal(err)
+		}
+		if got := s.Solve(); got != Sat {
+			b.Fatalf("got %v", got)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newVars(s *Solver, n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	return vs
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	v := newVars(s, 2)
+	mustAdd(t, s, v[0])
+	mustAdd(t, s, -v[0], v[1])
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if !s.Value(v[0]) || !s.Value(v[1]) {
+		t.Errorf("model = %v %v, want true true", s.Value(v[0]), s.Value(v[1]))
+	}
+}
+
+func mustAdd(t *testing.T, s *Solver, lits ...int) {
+	t.Helper()
+	if err := s.AddClause(lits...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	v := newVars(s, 1)
+	mustAdd(t, s, v[0])
+	mustAdd(t, s, -v[0])
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	newVars(s, 1)
+	mustAdd(t, s)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyFormulaSat(t *testing.T) {
+	s := New()
+	newVars(s, 3)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	v := newVars(s, 2)
+	mustAdd(t, s, v[0], -v[0]) // tautology, no effect
+	mustAdd(t, s, -v[1])
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if s.Value(v[1]) {
+		t.Error("v1 should be false")
+	}
+}
+
+func TestBadLiteral(t *testing.T) {
+	s := New()
+	newVars(s, 1)
+	if err := s.AddClause(0); err == nil {
+		t.Error("literal 0 should fail")
+	}
+	if err := s.AddClause(5); err == nil {
+		t.Error("unknown variable should fail")
+	}
+}
+
+func TestValuePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Value(1)
+}
+
+// TestPigeonhole verifies UNSAT on the classic PHP(n+1, n) instances,
+// which require genuine conflict-driven search.
+func TestPigeonhole(t *testing.T) {
+	for _, holes := range []int{3, 4, 5} {
+		pigeons := holes + 1
+		s := New()
+		// p[i][j]: pigeon i in hole j.
+		p := make([][]int, pigeons)
+		for i := range p {
+			p[i] = newVars(s, holes)
+			mustAdd(t, s, p[i]...)
+		}
+		for j := 0; j < holes; j++ {
+			for a := 0; a < pigeons; a++ {
+				for b := a + 1; b < pigeons; b++ {
+					mustAdd(t, s, -p[a][j], -p[b][j])
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want unsat", pigeons, holes, got)
+		}
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the CDCL answer against
+// exhaustive enumeration on small random instances.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		n := 4 + rng.Intn(7)
+		m := int(4.3 * float64(n))
+		clauses := make([][]int, m)
+		for k := range clauses {
+			cl := make([]int, 3)
+			for i := range cl {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[i] = v
+			}
+			clauses[k] = cl
+		}
+		// Brute force.
+		bruteSat := false
+		for mask := 0; mask < 1<<uint(n) && !bruteSat; mask++ {
+			ok := true
+			for _, cl := range clauses {
+				cok := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					val := mask&(1<<uint(v-1)) != 0
+					if (l > 0) == val {
+						cok = true
+						break
+					}
+				}
+				if !cok {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bruteSat = true
+			}
+		}
+		s := New()
+		newVars(s, n)
+		for _, cl := range clauses {
+			mustAdd(t, s, cl...)
+		}
+		got := s.Solve()
+		want := Unsat
+		if bruteSat {
+			want = Sat
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d m=%d): got %v want %v", trial, n, m, got, want)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies every clause.
+			for _, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: returned model violates clause %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	s := New()
+	v := newVars(s, 5)
+	if err := s.ExactlyOne(v); err != nil {
+		t.Fatal(err)
+	}
+	count, err := s.CountModels(v, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("ExactlyOne over 5 vars has %d models, want 5", count)
+	}
+}
+
+func TestExactlyOneEmpty(t *testing.T) {
+	if err := New().ExactlyOne(nil); err == nil {
+		t.Error("ExactlyOne over empty set should fail")
+	}
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestCardinalityModelCounts(t *testing.T) {
+	n := 6
+	cases := []struct {
+		name string
+		add  func(s *Solver, v []int) error
+		want int
+	}{
+		{"AtMost2", func(s *Solver, v []int) error { return s.AtMostK(v, 2) },
+			binom(6, 0) + binom(6, 1) + binom(6, 2)},
+		{"AtLeast4", func(s *Solver, v []int) error { return s.AtLeastK(v, 4) },
+			binom(6, 4) + binom(6, 5) + binom(6, 6)},
+		{"Exactly3", func(s *Solver, v []int) error { return s.ExactlyK(v, 3) }, binom(6, 3)},
+		{"Exactly0", func(s *Solver, v []int) error { return s.ExactlyK(v, 0) }, 1},
+		{"Exactly6", func(s *Solver, v []int) error { return s.ExactlyK(v, 6) }, 1},
+		{"AtMost6Vacuous", func(s *Solver, v []int) error { return s.AtMostK(v, 6) }, 64},
+		{"AtLeast0Vacuous", func(s *Solver, v []int) error { return s.AtLeastK(v, 0) }, 64},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New()
+			v := newVars(s, n)
+			if err := c.add(s, v); err != nil {
+				t.Fatal(err)
+			}
+			count, err := s.CountModels(v, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != c.want {
+				t.Errorf("models = %d, want %d", count, c.want)
+			}
+		})
+	}
+}
+
+func TestAtLeastKImpossible(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	if err := s.AtLeastK(v, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Errorf("AtLeastK(3 vars, 4) = %v, want unsat", got)
+	}
+}
+
+func TestAtMostKRejectsNegativeK(t *testing.T) {
+	s := New()
+	v := newVars(s, 3)
+	if err := s.AtMostK(v, -1); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestAtMostOnePairwiseAgreesWithSequential(t *testing.T) {
+	count := func(enc func(s *Solver, v []int) error) int {
+		s := New()
+		v := newVars(s, 5)
+		if err := enc(s, v); err != nil {
+			t.Fatal(err)
+		}
+		c, err := s.CountModels(v, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := count(func(s *Solver, v []int) error { return s.AtMostOnePairwise(v) })
+	b := count(func(s *Solver, v []int) error { return s.AtMostK(v, 1) })
+	if a != b || a != 6 {
+		t.Errorf("pairwise=%d sequential=%d, want 6", a, b)
+	}
+}
+
+func TestCountModelsCap(t *testing.T) {
+	s := New()
+	v := newVars(s, 4) // 16 models
+	count, err := s.CountModels(v, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("capped count = %d, want 5", count)
+	}
+}
+
+func TestMaxConflictsReturnsUnknown(t *testing.T) {
+	// A hard pigeonhole instance with a tiny conflict budget.
+	holes := 8
+	pigeons := holes + 1
+	s := New()
+	s.MaxConflicts = 5
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = newVars(s, holes)
+		mustAdd(t, s, p[i]...)
+	}
+	for j := 0; j < holes; j++ {
+		for a := 0; a < pigeons; a++ {
+			for b := a + 1; b < pigeons; b++ {
+				mustAdd(t, s, -p[a][j], -p[b][j])
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve = %v, want unknown under tiny budget", got)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Error("Result strings wrong")
+	}
+}
+
+func TestStatisticsAdvance(t *testing.T) {
+	s := New()
+	v := newVars(s, 8)
+	// Force some conflicts: XOR-ish chains.
+	for i := 0; i+1 < len(v); i++ {
+		mustAdd(t, s, v[i], v[i+1])
+		mustAdd(t, s, -v[i], -v[i+1])
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if s.Propagations == 0 {
+		t.Error("expected some propagations")
+	}
+}
