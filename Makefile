@@ -1,0 +1,44 @@
+# Standard entry points for the singlingout reproduction.
+#
+#   make ci       gofmt + vet + build + tests (race on the concurrency-
+#                 sensitive packages) + a quick instrumented repro run
+#   make bench    the root benchmark suite with work counters
+#   make repro    full-size experiment tables (what EXPERIMENTS.md archives)
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race repro-quick bench repro clean
+
+ci: fmt vet build race test repro-quick
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./internal/pso/... ./internal/obs/... ./internal/query/...
+
+test:
+	$(GO) test ./...
+
+# Quick instrumented end-to-end run: every experiment, JSONL journal and
+# BENCH_<rev>.json summary under /tmp.
+repro-quick:
+	$(GO) run ./cmd/repro -quick -metrics /tmp/singlingout-run.jsonl
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+repro:
+	$(GO) run ./cmd/repro
+
+clean:
+	rm -f /tmp/singlingout-run.jsonl

@@ -16,25 +16,49 @@ import (
 	"testing"
 
 	"singlingout/internal/experiments"
+	"singlingout/internal/obs"
 )
 
 var printOnce sync.Map
 
+// benchExperiment runs the harness b.N times with the obs registry
+// enabled and reports the per-iteration work counters (oracle queries,
+// simplex pivots, SAT work) alongside ns/op, so the bench log records the
+// attacks' measured complexity, not just their wall-clock.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	r, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	reg := obs.Default()
+	wasEnabled := reg.Enabled()
+	reg.SetEnabled(true)
+	defer reg.SetEnabled(wasEnabled)
+	before := reg.Snapshot()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tab, err := r.Run(1, true)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if _, done := printOnce.LoadOrStore(id, true); !done {
+			b.StopTimer()
 			fmt.Print(tab.String())
+			b.StartTimer()
 		}
 	}
+	b.StopTimer()
+	delta := reg.Snapshot().Delta(before)
+	perOp := func(name, unit string) {
+		if v := delta.Counters[name]; v > 0 {
+			b.ReportMetric(float64(v)/float64(b.N), unit)
+		}
+	}
+	perOp("query.count", "queries/op")
+	perOp("lp.pivots", "pivots/op")
+	perOp("sat.conflicts", "conflicts/op")
+	perOp("sat.propagations", "props/op")
 }
 
 func BenchmarkE01ExhaustiveReconstruction(b *testing.B) { benchExperiment(b, "E01") }

@@ -7,6 +7,9 @@
 //
 //	anonymize -generate 5000 -out raw.csv          # make synthetic input
 //	anonymize -in raw.csv -k 5 -alg mondrian -audit
+//
+// The standard profiling flags (-cpuprofile, -memprofile, -trace) are
+// also accepted.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 
 	"singlingout/internal/dataset"
 	"singlingout/internal/kanon"
+	"singlingout/internal/obs"
 	"singlingout/internal/pso"
 	"singlingout/internal/synth"
 )
@@ -39,7 +43,14 @@ func run() error {
 	lDiv := flag.Int("ldiv", 0, "require at least this ℓ-diversity of the disease attribute (mondrian only)")
 	audit := flag.Bool("audit", false, "run the Theorem 2.10 PSO attack against the release")
 	seed := flag.Int64("seed", 1, "random seed")
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	rng := rand.New(rand.NewSource(*seed))
 	cfg := synth.PopulationConfig{N: *generate, ZIPs: 20, BlocksPerZIP: 10}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	legalreport [-seed 1] [-full]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 package main
 
 import (
@@ -16,12 +17,21 @@ import (
 
 	"singlingout/internal/experiments"
 	"singlingout/internal/legal"
+	"singlingout/internal/obs"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	claims, comparison, err := experiments.LegalClaims(*seed, !*full)
 	if err != nil {

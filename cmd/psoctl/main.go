@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	psoctl [-id E08] [-seed 1] [-full] [-list]
+//	psoctl [-id E08] [-seed 1] [-full] [-list] [-stats]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // Without -id it runs every PSO experiment; -full uses the publication
-// sizes recorded in EXPERIMENTS.md instead of the quick CI sizes.
+// sizes recorded in EXPERIMENTS.md instead of the quick CI sizes. -stats
+// appends an obs metrics footer (trials, isolations, count queries, ...)
+// to every table.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 
 	"singlingout/internal/experiments"
+	"singlingout/internal/obs"
 )
 
 var psoIDs = []string{"E04", "E05", "E06", "E07", "E08", "E09", "E10", "E15", "E16", "A02", "A03"}
@@ -25,7 +29,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
 	list := flag.Bool("list", false, "list the experiments in the PSO suite")
+	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, eid := range psoIDs {
@@ -44,7 +57,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "psoctl: unknown experiment %q (try -list)\n", eid)
 			os.Exit(1)
 		}
-		tab, err := r.Run(*seed, !*full)
+		var tab *experiments.Table
+		var err error
+		if *stats {
+			tab, _, err = r.RunInstrumented(*seed, !*full)
+		} else {
+			tab, err = r.Run(*seed, !*full)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "psoctl: %s: %v\n", eid, err)
 			os.Exit(1)

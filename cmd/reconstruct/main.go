@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full]
+//	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full] [-stats]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -stats appends an obs metrics footer (oracle queries, simplex pivots,
+// SAT conflicts, ...) to every table.
 package main
 
 import (
@@ -14,13 +18,23 @@ import (
 	"os"
 
 	"singlingout/internal/experiments"
+	"singlingout/internal/obs"
 )
 
 func main() {
 	attack := flag.String("attack", "all", "attack to run: all, exhaustive, lp, census, diffix")
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
+	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	byName := map[string][]string{
 		"exhaustive": {"E01"},
@@ -36,7 +50,13 @@ func main() {
 	}
 	for _, id := range ids {
 		r, _ := experiments.ByID(id)
-		tab, err := r.Run(*seed, !*full)
+		var tab *experiments.Table
+		var err error
+		if *stats {
+			tab, _, err = r.RunInstrumented(*seed, !*full)
+		} else {
+			tab, err = r.Run(*seed, !*full)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reconstruct: %s: %v\n", id, err)
 			os.Exit(1)

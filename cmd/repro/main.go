@@ -2,25 +2,62 @@
 // per-experiment index (E01–E16 and the ablations A01–A05). Its full-size
 // output is what EXPERIMENTS.md archives.
 //
+// With -metrics it additionally records a structured JSONL run journal —
+// one event per experiment with timing and the obs metric delta (oracle
+// queries, simplex pivots, SAT conflicts, ...) — and writes a
+// machine-readable BENCH_<rev>.json summary next to the journal.
+//
 // Usage:
 //
-//	repro [-seed 1] [-quick] [-id E02]
+//	repro [-seed 1] [-quick] [-id E02] [-metrics out.jsonl]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// Failing experiments no longer abort the run: every experiment is
+// attempted, failures are reported together at the end, and the exit
+// status is nonzero if any failed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"singlingout/internal/experiments"
+	"singlingout/internal/obs"
 )
+
+// writeBench folds the finished journal back into a BENCH_<rev>.json
+// summary written beside it.
+func writeBench(journalPath string) (string, error) {
+	f, err := os.Open(journalPath)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		return "", err
+	}
+	sum := obs.SummarizeEvents(obs.GitRev("."), events)
+	return sum.WriteFile(filepath.Dir(journalPath))
+}
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "CI-size runs instead of publication sizes")
 	id := flag.String("id", "", "run a single experiment id")
+	metrics := flag.String("metrics", "", "write a JSONL run journal (and BENCH_<rev>.json beside it)")
+	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	runners := experiments.All()
 	if *id != "" {
@@ -31,17 +68,98 @@ func main() {
 		}
 		runners = []experiments.Runner{r}
 	}
-	for _, r := range runners {
-		start := time.Now()
-		tab, err := r.Run(*seed, *quick)
+
+	var journal *obs.Journal
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.ID, err)
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
+		defer f.Close()
+		journal = obs.NewJournal(f)
+		obs.Default().SetEnabled(true)
+		if err := journal.Emit(obs.Event{
+			Phase: "run_start",
+			Seed:  *seed,
+			Quick: *quick,
+			Sizes: map[string]int{"experiments": len(runners)},
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	emit := func(e obs.Event) {
+		if journal == nil {
+			return
+		}
+		if err := journal.Emit(e); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		}
+	}
+
+	// Attempt every experiment, collecting failures instead of aborting on
+	// the first: a broken harness must not mask results from the others.
+	var failures []string
+	runStart := time.Now()
+	for _, r := range runners {
+		start := time.Now()
+		var tab *experiments.Table
+		var delta obs.Snapshot
+		var err error
+		if journal != nil {
+			tab, delta, err = r.RunInstrumented(*seed, *quick)
+		} else {
+			tab, err = r.Run(*seed, *quick)
+		}
+		elapsed := time.Since(start)
+		ev := obs.Event{
+			Phase:   "experiment",
+			ID:      r.ID,
+			Seed:    *seed,
+			Quick:   *quick,
+			Seconds: elapsed.Seconds(),
+		}
+		if !delta.Empty() {
+			ev.Metrics = &delta
+		}
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", r.ID, err))
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.ID, err)
+			ev.Error = err.Error()
+			emit(ev)
+			continue
+		}
+		ev.Sizes = map[string]int{"rows": len(tab.Rows)}
+		emit(ev)
 		if err := tab.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("  [%s completed in %s]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s completed in %s]\n\n", r.ID, elapsed.Round(time.Millisecond))
+	}
+	emit(obs.Event{
+		Phase:   "run_end",
+		Seed:    *seed,
+		Quick:   *quick,
+		Seconds: time.Since(runStart).Seconds(),
+		Sizes:   map[string]int{"experiments": len(runners), "failures": len(failures)},
+	})
+
+	if journal != nil {
+		if path, err := writeBench(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		} else {
+			fmt.Printf("  [journal %s, summary %s]\n", *metrics, path)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "repro: %d of %d experiments failed:\n", len(failures), len(runners))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
 	}
 }

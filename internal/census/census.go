@@ -16,8 +16,27 @@ import (
 	"sort"
 
 	"singlingout/internal/dataset"
+	"singlingout/internal/obs"
+	"singlingout/internal/query"
 	"singlingout/internal/sat"
 	"singlingout/internal/synth"
+)
+
+// Metrics recorded into obs.Default() by the census pipeline. Each
+// published table cell the attacker encodes is the answer to one counting
+// query over the block's microdata, so its consumption is accounted under
+// query.MetricQueries — the same name the oracle-based attacks use —
+// keeping query counts comparable across pipelines.
+var (
+	mTableQueries  = obs.Default().Counter(query.MetricQueries)
+	mCensusQueries = obs.Default().Counter("census.table_queries")
+	mBlocks        = obs.Default().Counter("census.blocks")
+	mBlocksSolved  = obs.Default().Counter("census.blocks_solved")
+	mBlocksUnique  = obs.Default().Counter("census.blocks_unique")
+	mPersons       = obs.Default().Counter("census.persons")
+	mExactRecords  = obs.Default().Counter("census.exact_records")
+	mExactFraction = obs.Default().Gauge("census.exact_fraction")
+	mBlockNS       = obs.Default().Histogram("census.block_ns")
 )
 
 // ErrInconsistentTables is returned by ReconstructBlock when the supplied
@@ -157,6 +176,8 @@ func ReconstructBlock(bt BlockTables, cfg Config, maxConflicts int64) (BlockResu
 		res.Solved, res.Unique = true, true
 		return res, nil
 	}
+	sp := mBlockNS.Span()
+	defer sp.End()
 	cells := cfg.numCells()
 	s := sat.New()
 	s.MaxConflicts = maxConflicts
@@ -174,8 +195,11 @@ func ReconstructBlock(bt BlockTables, cfg Config, maxConflicts int64) (BlockResu
 			return res, err
 		}
 	}
-	// Published-count constraints.
+	// Published-count constraints. Each group is one published counting
+	// query the attacker consumes.
 	addGroup := func(members func(t Tuple) bool, count int) error {
+		mTableQueries.Add(1)
+		mCensusQueries.Add(1)
 		var vars []int
 		for p := range x {
 			for c := 0; c < cells; c++ {

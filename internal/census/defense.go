@@ -99,5 +99,11 @@ func ReconstructTables(tables []BlockTables, truth map[int64][]Tuple, cfg Config
 	if sum.Persons > 0 {
 		sum.ExactFraction = float64(sum.ExactRecords) / float64(sum.Persons)
 	}
+	mBlocks.Add(int64(sum.Blocks))
+	mBlocksSolved.Add(int64(sum.Solved))
+	mBlocksUnique.Add(int64(sum.Unique))
+	mPersons.Add(int64(sum.Persons))
+	mExactRecords.Add(int64(sum.ExactRecords))
+	mExactFraction.Set(sum.ExactFraction)
 	return results, sum, nil
 }

@@ -103,7 +103,7 @@ func Attack(rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
 		}
 		queries = append(queries, q)
 	}
-	guess, frac, err := recon.LPDecode(c, queries, recon.L1Slack)
+	guess, frac, err := recon.LPDecode(query.Instrument(c, nil), queries, recon.L1Slack)
 	if err != nil {
 		return AttackResult{}, nil, fmt.Errorf("diffix: %w", err)
 	}

@@ -162,3 +162,58 @@ func TestE19DefenseShape(t *testing.T) {
 		t.Errorf("DP tables should be mostly unsolvable: %s", dpSolved)
 	}
 }
+
+// TestTableWideRowRendering is a regression test for rows carrying more
+// cells than the header: those cells used to render at width 0, collapsing
+// the column alignment.
+func TestTableWideRowRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "X",
+		Title:  "wide rows",
+		Header: []string{"a", "b"},
+	}
+	tab.AddRow("1", "2", "wide-extra-cell", "tail")
+	tab.AddRow("3", "4", "x", "yy")
+	out := tab.String()
+	if !strings.Contains(out, "wide-extra-cell") {
+		t.Fatalf("extra cell missing:\n%s", out)
+	}
+	// The short extra cell must be padded to its column width so the row
+	// tails align.
+	lines := strings.Split(out, "\n")
+	var tailCols []int
+	for _, l := range lines {
+		if i := strings.Index(l, "tail"); i >= 0 {
+			tailCols = append(tailCols, i)
+		}
+		if i := strings.Index(l, "yy"); i >= 0 {
+			tailCols = append(tailCols, i)
+		}
+	}
+	if len(tailCols) != 2 || tailCols[0] != tailCols[1] {
+		t.Errorf("row tails misaligned (columns %v):\n%s", tailCols, out)
+	}
+}
+
+// TestRunInstrumented checks that metrics recorded while an experiment
+// runs land in the table footer, and that oracle query counts are nonzero
+// for an oracle-driven attack.
+func TestRunInstrumented(t *testing.T) {
+	r, ok := ByID("E01")
+	if !ok {
+		t.Fatal("E01 not registered")
+	}
+	tab, delta, err := r.RunInstrumented(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Counters["query.count"] == 0 {
+		t.Errorf("expected nonzero oracle query count, got delta %+v", delta)
+	}
+	if tab.Metrics.Empty() {
+		t.Error("table metrics footer should be populated")
+	}
+	if out := tab.String(); !strings.Contains(out, "metrics:") || !strings.Contains(out, "query.count") {
+		t.Errorf("rendered table missing metrics footer:\n%s", out)
+	}
+}

@@ -38,7 +38,7 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, queries)
-			o := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
+			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
 			got, err := recon.Exhaustive(o, qs, alpha)
 			if err != nil {
 				return nil, err
@@ -80,7 +80,7 @@ func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
 			for trial := 0; trial < trials; trial++ {
 				x := synth.BinaryDataset(rng, n, 0.5)
 				qs := query.RandomSubsets(rng, n, 4*n)
-				o := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
+				o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
 				got, _, err := recon.LPDecode(o, qs, recon.L1Slack)
 				if err != nil {
 					return nil, err
@@ -186,7 +186,7 @@ func A01LPObjective(seed int64, quick bool) (*Table, error) {
 		for trial := 0; trial < trials; trial++ {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, 4*n)
-			oracle := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
+			oracle := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
 			got, _, err := recon.LPDecode(oracle, qs, obj.o)
 			if err != nil {
 				return nil, err

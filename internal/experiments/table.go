@@ -13,7 +13,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+
+	"singlingout/internal/obs"
 )
 
 // Table is a printable experiment result.
@@ -23,6 +26,10 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Metrics, when non-empty, is the observability delta recorded while
+	// the experiment ran (oracle queries, solver pivots/conflicts, ...). It
+	// renders as a footer below the notes.
+	Metrics obs.Snapshot
 }
 
 // AddRow appends a formatted row.
@@ -35,13 +42,21 @@ func (t *Table) Fprint(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
 		return err
 	}
-	widths := make([]int, len(t.Header))
+	// Size the column widths to the widest of header and rows; rows may
+	// carry more cells than the header.
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -71,6 +86,16 @@ func (t *Table) Fprint(w io.Writer) error {
 			return err
 		}
 	}
+	if !t.Metrics.Empty() {
+		if _, err := fmt.Fprintln(w, "  metrics:"); err != nil {
+			return err
+		}
+		for _, m := range t.Metrics.Flat() {
+			if _, err := fmt.Fprintf(w, "    %-28s %s\n", m.Name, strconv.FormatFloat(m.Value, 'g', 6, 64)); err != nil {
+				return err
+			}
+		}
+	}
 	_, err := fmt.Fprintln(w)
 	return err
 }
@@ -96,6 +121,26 @@ type Runner struct {
 	ID   string
 	Desc string
 	Run  func(seed int64, quick bool) (*Table, error)
+}
+
+// RunInstrumented runs the experiment with the default obs registry
+// enabled and returns, alongside the table, the metric delta attributable
+// to this run (also attached to the table's Metrics footer). The previous
+// enabled state of the registry is restored afterwards. Experiments share
+// one global registry, so concurrent RunInstrumented calls attribute each
+// other's work; run experiments sequentially when metrics matter.
+func (r Runner) RunInstrumented(seed int64, quick bool) (*Table, obs.Snapshot, error) {
+	reg := obs.Default()
+	wasEnabled := reg.Enabled()
+	reg.SetEnabled(true)
+	defer reg.SetEnabled(wasEnabled)
+	before := reg.Snapshot()
+	t, err := r.Run(seed, quick)
+	delta := reg.Snapshot().Delta(before)
+	if t != nil {
+		t.Metrics = delta
+	}
+	return t, delta, err
 }
 
 // All returns every registered experiment in order.

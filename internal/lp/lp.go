@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"singlingout/internal/obs"
 )
 
 // Rel is a constraint relation.
@@ -38,6 +40,22 @@ type Problem struct {
 	NumVars     int
 	Objective   []float64 // length NumVars; minimized
 	Constraints []Constraint
+
+	// Progress, when set, is invoked at every phase transition and every
+	// ProgressEvery pivots (default 4096) — the attacker-side iteration
+	// hook for long reconstructions. It must be cheap; it runs inside the
+	// pivot loop.
+	Progress func(Progress)
+	// ProgressEvery overrides the pivot interval between Progress calls.
+	ProgressEvery int
+}
+
+// Progress describes the simplex state at a progress callback.
+type Progress struct {
+	// Phase is 1 during the feasibility search, 2 during optimization.
+	Phase int
+	// Pivots is the total pivot count so far (both phases).
+	Pivots int
 }
 
 // Status describes the outcome of Solve.
@@ -69,7 +87,23 @@ type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
+	// Pivots is the total number of simplex pivots performed (both
+	// phases); Phase1Pivots is the feasibility-search share.
+	Pivots       int
+	Phase1Pivots int
 }
+
+// Metrics recorded into obs.Default() by Solve. lp.pivots counts every
+// simplex pivot across both phases — the paper's "solver iterations" cost
+// of an LP reconstruction attack.
+var (
+	mSolves     = obs.Default().Counter("lp.solves")
+	mPivots     = obs.Default().Counter("lp.pivots")
+	mPhase1     = obs.Default().Counter("lp.phase1_pivots")
+	mInfeasible = obs.Default().Counter("lp.infeasible")
+	mUnbounded  = obs.Default().Counter("lp.unbounded")
+	mSolveNS    = obs.Default().Histogram("lp.solve_ns")
+)
 
 // ErrIterationLimit is returned when the simplex fails to terminate within
 // its iteration budget (indicative of severe degeneracy or a bug).
@@ -103,26 +137,56 @@ func Solve(p *Problem) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
+	mSolves.Add(1)
+	sp := mSolveNS.Span()
+	defer sp.End()
 	t := newTableau(p)
+	t.progress = p.Progress
+	t.progressEvery = p.ProgressEvery
+	if t.progressEvery <= 0 {
+		t.progressEvery = 4096
+	}
+	phase1Pivots := 0
+	defer func() {
+		mPivots.Add(int64(t.pivots))
+		mPhase1.Add(int64(phase1Pivots))
+	}()
+	done := func(s *Solution) *Solution {
+		s.Pivots = t.pivots
+		s.Phase1Pivots = phase1Pivots
+		return s
+	}
 	// Phase 1: minimize the sum of artificials to find a feasible basis.
+	t.phase = 1
 	if t.numArt > 0 {
+		if t.progress != nil {
+			t.progress(Progress{Phase: 1, Pivots: 0})
+		}
 		t.setPhase1Objective()
 		if err := t.iterate(true); err != nil {
 			return nil, err
 		}
+		phase1Pivots = t.pivots
 		if t.rhs(t.m) < -tol { // phase-1 objective value is -row value
-			return &Solution{Status: Infeasible}, nil
+			mInfeasible.Add(1)
+			return done(&Solution{Status: Infeasible}), nil
 		}
 		if !t.driveOutArtificials() {
 			// Artificial stuck basic at nonzero level: infeasible.
-			return &Solution{Status: Infeasible}, nil
+			mInfeasible.Add(1)
+			return done(&Solution{Status: Infeasible}), nil
 		}
 	}
 	// Phase 2: original objective.
+	t.phase = 2
+	if t.progress != nil {
+		t.progress(Progress{Phase: 2, Pivots: t.pivots})
+	}
 	t.setPhase2Objective(p.Objective)
 	if err := t.iterate(false); err != nil {
 		if errors.Is(err, errUnbounded) {
-			return &Solution{Status: Unbounded}, nil
+			mUnbounded.Add(1)
+			return done(&Solution{Status: Unbounded}), nil
 		}
 		return nil, err
 	}
@@ -136,7 +200,7 @@ func Solve(p *Problem) (*Solution, error) {
 	for j, c := range p.Objective {
 		obj += c * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+	return done(&Solution{Status: Optimal, X: x, Objective: obj}), nil
 }
 
 func validate(p *Problem) error {
@@ -166,6 +230,9 @@ type tableau struct {
 	basis                        []int
 	artStart                     int // first artificial column
 	pivots                       int
+	phase                        int
+	progress                     func(Progress)
+	progressEvery                int
 }
 
 func newTableau(p *Problem) *tableau {
@@ -385,6 +452,9 @@ func (t *tableau) chooseLeaving(col int) int {
 
 func (t *tableau) pivot(row, col int) {
 	t.pivots++
+	if t.progress != nil && t.pivots%t.progressEvery == 0 {
+		t.progress(Progress{Phase: t.phase, Pivots: t.pivots})
+	}
 	piv := t.a[row][col]
 	invPiv := 1 / piv
 	rowData := t.a[row]

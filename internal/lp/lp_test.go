@@ -331,3 +331,44 @@ func TestZeroConstraintLP(t *testing.T) {
 		t.Errorf("x = %v, want 0", s.X[0])
 	}
 }
+
+// TestSolutionPivotsAndProgress checks the solver reports its pivot counts
+// and drives the Progress hook through both phases.
+func TestSolutionPivotsAndProgress(t *testing.T) {
+	// A problem with GE rows forces a genuine phase 1.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: GE, RHS: 2},
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 10},
+		},
+		ProgressEvery: 1,
+	}
+	var events []Progress
+	p.Progress = func(pr Progress) { events = append(events, pr) }
+	s := solveOK(t, p)
+	if s.Pivots <= 0 {
+		t.Errorf("Pivots = %d, want positive", s.Pivots)
+	}
+	if s.Phase1Pivots <= 0 || s.Phase1Pivots > s.Pivots {
+		t.Errorf("Phase1Pivots = %d out of range (total %d)", s.Phase1Pivots, s.Pivots)
+	}
+	if len(events) == 0 {
+		t.Fatal("Progress hook never invoked")
+	}
+	sawPhase := map[int]bool{}
+	lastPivots := -1
+	for _, e := range events {
+		sawPhase[e.Phase] = true
+		if e.Pivots < lastPivots {
+			t.Errorf("pivot count went backwards: %v", events)
+			break
+		}
+		lastPivots = e.Pivots
+	}
+	if !sawPhase[1] || !sawPhase[2] {
+		t.Errorf("expected progress from both phases, saw %v", sawPhase)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one line of the structured JSONL run journal. cmd/repro emits
+// one event per experiment phase (plus run_start/run_end bracketing
+// events); each carries the seed, sizes, timing and a metrics snapshot of
+// the work done during that phase.
+type Event struct {
+	// Time is the wall-clock emission time (RFC 3339, filled by Emit when
+	// empty).
+	Time string `json:"time"`
+	// Phase labels the pipeline phase: "run_start", "experiment",
+	// "run_end".
+	Phase string `json:"phase"`
+	// ID is the experiment id (e.g. "E02") for experiment events.
+	ID string `json:"id,omitempty"`
+	// Seed is the random seed the phase ran under.
+	Seed int64 `json:"seed"`
+	// Quick reports whether CI sizes were used.
+	Quick bool `json:"quick"`
+	// Sizes carries phase-specific sizes (rows, experiments, failures...).
+	Sizes map[string]int `json:"sizes,omitempty"`
+	// Seconds is the phase wall-clock duration.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Error is the failure message for phases that errored.
+	Error string `json:"error,omitempty"`
+	// Metrics is the snapshot (usually a delta) of work done in the phase.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// Journal writes Events as JSON lines. Safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events int
+}
+
+// NewJournal returns a journal writing to w.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Emit writes one event as a single JSON line, stamping Time if unset.
+func (j *Journal) Emit(e Event) error {
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("obs: journal marshal: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("obs: journal write: %w", err)
+	}
+	j.events++
+	return nil
+}
+
+// Events returns the number of events emitted so far.
+func (j *Journal) Events() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.events
+}
+
+// ReadEvents parses a JSONL journal back into events (for tests and the
+// bench summarizer).
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: journal parse: %w", err)
+		}
+		out = append(out, e)
+	}
+}

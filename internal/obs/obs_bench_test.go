@@ -1,0 +1,59 @@
+package obs
+
+import "testing"
+
+// The disabled path is the one compiled into every pipeline permanently;
+// the acceptance bar is a single atomic load and no allocation.
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	c := NewRegistry().Counter("bench.count")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("bench.count")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	h := NewRegistry().Histogram("bench.lat_ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("bench.lat_ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	h := NewRegistry().Histogram("bench.span_ns")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Span().End()
+	}
+}
+
+func BenchmarkRegistryLookup(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Counter("bench.lookup").Add(1)
+	}
+}

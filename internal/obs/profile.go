@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profiler wires the standard -cpuprofile/-memprofile/-trace flags into a
+// command. Register with AddProfileFlags before flag.Parse, then:
+//
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+type Profiler struct {
+	cpu, mem, traceOut *string
+
+	cpuFile, traceFile *os.File
+}
+
+// AddProfileFlags registers the profiling flags on fs (use
+// flag.CommandLine in mains) and returns the controller.
+func AddProfileFlags(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	p.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	p.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	p.traceOut = fs.String("trace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// Start begins the requested profiles. The returned stop function is safe
+// to call exactly once (typically via defer) and flushes every profile.
+func (p *Profiler) Start() (stop func(), err error) {
+	if *p.cpu != "" {
+		p.cpuFile, err = os.Create(*p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if *p.traceOut != "" {
+		p.traceFile, err = os.Create(*p.traceOut)
+		if err != nil {
+			p.stopCPU()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(p.traceFile); err != nil {
+			p.stopCPU()
+			p.traceFile.Close()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	return p.stop, nil
+}
+
+func (p *Profiler) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+func (p *Profiler) stop() {
+	p.stopCPU()
+	if p.traceFile != nil {
+		trace.Stop()
+		p.traceFile.Close()
+		p.traceFile = nil
+	}
+	if *p.mem != "" {
+		f, err := os.Create(*p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: memprofile: %v\n", err)
+		}
+	}
+}

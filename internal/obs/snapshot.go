@@ -1,0 +1,105 @@
+package obs
+
+import "sort"
+
+// HistStat is a point-in-time histogram summary.
+type HistStat struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It is
+// the unit the run journal records and the experiment tables render.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistStat, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Stat()
+	}
+	return s
+}
+
+// Delta returns the work done between prev and s: counters and histogram
+// count/sum are subtracted (entries that did not move are dropped), while
+// gauges keep their current value (dropped when unchanged) and histogram
+// min/max cover the whole run up to s (they are not invertible). prev may
+// be the zero Snapshot, in which case Delta just drops zero-valued
+// entries.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistStat{},
+	}
+	for name, v := range s.Counters {
+		if dv := v - prev.Counters[name]; dv != 0 {
+			d.Counters[name] = dv
+		}
+	}
+	for name, v := range s.Gauges {
+		if v != prev.Gauges[name] {
+			d.Gauges[name] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		dh := HistStat{Count: h.Count - p.Count, Sum: h.Sum - p.Sum, Min: h.Min, Max: h.Max}
+		if dh.Count == 0 {
+			continue
+		}
+		dh.Mean = float64(dh.Sum) / float64(dh.Count)
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// Empty reports whether the snapshot carries no non-zero metric.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Metric is one named value in a flattened snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Flat flattens the snapshot into name-sorted metrics suitable for table
+// footers: counters and gauges verbatim, histograms as <name>.count and
+// <name>.mean.
+func (s Snapshot) Flat() []Metric {
+	var out []Metric
+	for name, v := range s.Counters {
+		out = append(out, Metric{Name: name, Value: float64(v)})
+	}
+	for name, v := range s.Gauges {
+		out = append(out, Metric{Name: name, Value: v})
+	}
+	for name, h := range s.Histograms {
+		out = append(out, Metric{Name: name + ".count", Value: float64(h.Count)})
+		out = append(out, Metric{Name: name + ".mean", Value: h.Mean})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -6,6 +6,16 @@ import (
 
 	"singlingout/internal/dataset"
 	"singlingout/internal/dist"
+	"singlingout/internal/obs"
+)
+
+// Metrics recorded into obs.Default() by the PSO game harness.
+var (
+	mTrials       = obs.Default().Counter("pso.trials")
+	mIsolations   = obs.Default().Counter("pso.isolations")
+	mSuccesses    = obs.Default().Counter("pso.successes")
+	mAttackErrors = obs.Default().Counter("pso.attack_errors")
+	mTrialNS      = obs.Default().Histogram("pso.trial_ns")
 )
 
 // Config describes one PSO security experiment (the game of Definition
@@ -138,17 +148,22 @@ func Run(rng *rand.Rand, cfg Config, m Mechanism, a Attacker) (Result, error) {
 	var sumNominal, sumMeasured float64
 	measured := 0
 	for trial := 0; trial < cfg.Trials; trial++ {
+		mTrials.Add(1)
+		sp := mTrialNS.Span()
 		d := dataset.New(cfg.Schema)
 		for i := 0; i < cfg.N; i++ {
 			d.MustAppend(cfg.Sample(rng))
 		}
 		released, err := m.Release(rng, d)
 		if err != nil {
+			sp.End()
 			return Result{}, fmt.Errorf("pso: mechanism failed: %w", err)
 		}
 		p, err := a.Attack(rng, released, cfg.N)
 		if err != nil {
 			res.AttackErrors++
+			mAttackErrors.Add(1)
+			sp.End()
 			continue
 		}
 		w := p.NominalWeight()
@@ -159,12 +174,15 @@ func Run(rng *rand.Rand, cfg Config, m Mechanism, a Attacker) (Result, error) {
 		}
 		if Isolates(p, d) {
 			res.Isolations++
+			mIsolations.Add(1)
 			if w <= cfg.Tau {
 				res.Successes++
+				mSuccesses.Add(1)
 			} else {
 				res.HeavyIsolations++
 			}
 		}
+		sp.End()
 	}
 	if n := cfg.Trials - res.AttackErrors; n > 0 {
 		res.MeanNominalWeight = sumNominal / float64(n)

@@ -8,6 +8,17 @@ import (
 	"singlingout/internal/dataset"
 	"singlingout/internal/dp"
 	"singlingout/internal/kanon"
+	"singlingout/internal/obs"
+	"singlingout/internal/query"
+)
+
+// Adaptive predicate-count queries are counting queries like everything
+// else the attacks consume, so CountOracle accounts them under
+// query.MetricQueries as well as its own name.
+var (
+	mCountQueries  = obs.Default().Counter("pso.count_queries")
+	mOracleQueries = obs.Default().Counter(query.MetricQueries)
+	mQueryDenied   = obs.Default().Counter(query.MetricBudgetDenied)
 )
 
 // Mechanism is the anonymization mechanism M: X^n → Y of Section 2.2. The
@@ -92,9 +103,12 @@ type CountOracle struct {
 // Count answers one predicate-count query.
 func (o *CountOracle) Count(p Predicate) (float64, error) {
 	if o.used >= o.limit {
+		mQueryDenied.Add(1)
 		return 0, ErrQueryLimit
 	}
 	o.used++
+	mCountQueries.Add(1)
+	mOracleQueries.Add(1)
 	c := IsolationCount(p, o.d)
 	if o.noise == nil {
 		return float64(c), nil

@@ -1,0 +1,179 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"singlingout/internal/obs"
+)
+
+// TestBudgetExhaustedMidAttack drives a budgeted oracle past its limit the
+// way an attack workload would and checks both the error identity and the
+// instrumented accounting of the denials.
+func TestBudgetExhaustedMidAttack(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	x := []int64{1, 0, 1, 1, 0, 1}
+	b := &Budgeted{Inner: &Exact{X: x}, Limit: 3}
+	in := Instrument(b, reg)
+
+	qs := RandomSubsets(rand.New(rand.NewSource(7)), len(x), 10)
+	answered, denied := 0, 0
+	for _, q := range qs {
+		_, err := in.SubsetSum(q)
+		switch {
+		case err == nil:
+			answered++
+		case errors.Is(err, ErrBudgetExhausted):
+			denied++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if answered != 3 || denied != 7 {
+		t.Fatalf("answered %d denied %d, want 3/7", answered, denied)
+	}
+	if got := b.Used(); got != 3 {
+		t.Errorf("Used() = %d, want 3", got)
+	}
+	s := reg.Snapshot()
+	if s.Counters[MetricQueries] != 10 {
+		t.Errorf("%s = %d, want 10 (denied queries still count as issued)", MetricQueries, s.Counters[MetricQueries])
+	}
+	if s.Counters[MetricBudgetDenied] != 7 {
+		t.Errorf("%s = %d, want 7", MetricBudgetDenied, s.Counters[MetricBudgetDenied])
+	}
+	if s.Counters[MetricErrors] != 7 {
+		t.Errorf("%s = %d, want 7", MetricErrors, s.Counters[MetricErrors])
+	}
+	if got := s.Gauges[MetricBudgetUsed]; got != 3 {
+		t.Errorf("%s = %v, want 3", MetricBudgetUsed, got)
+	}
+}
+
+// TestSubsetSumOutOfRange checks every oracle type rejects out-of-range
+// indices instead of panicking or answering garbage.
+func TestSubsetSumOutOfRange(t *testing.T) {
+	x := []int64{1, 0, 1}
+	rng := rand.New(rand.NewSource(1))
+	oracles := map[string]Oracle{
+		"exact":    &Exact{X: x},
+		"bounded":  &BoundedNoise{X: x, Alpha: 1, Rng: rng},
+		"laplace":  &Laplace{X: x, Eps: 1, Rng: rng},
+		"budgeted": &Budgeted{Inner: &Exact{X: x}, Limit: 10},
+		"instrumented": Instrument(&Exact{X: x},
+			func() *obs.Registry { r := obs.NewRegistry(); r.SetEnabled(true); return r }()),
+	}
+	for name, o := range oracles {
+		for _, q := range [][]int{{0, 3}, {-1}, {0, 1, 2, 99}} {
+			if _, err := o.SubsetSum(q); err == nil {
+				t.Errorf("%s: SubsetSum(%v) should fail", name, q)
+			}
+		}
+		// A valid query must still work afterwards.
+		if got, err := o.SubsetSum([]int{0, 2}); err != nil {
+			t.Errorf("%s: valid query failed: %v", name, err)
+		} else if got < 2-1.5 || got > 2+3 { // exact answer 2, generous noise margin
+			t.Errorf("%s: SubsetSum([0 2]) = %v, implausibly far from 2", name, got)
+		}
+	}
+}
+
+// TestInstrumentedErrorCounting checks that failed queries land in the
+// error counter, not just the query counter.
+func TestInstrumentedErrorCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	in := Instrument(&Exact{X: []int64{1, 1}}, reg)
+	if _, err := in.SubsetSum([]int{5}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := in.SubsetSum([]int{0}); err != nil {
+		t.Fatalf("valid query failed: %v", err)
+	}
+	s := reg.Snapshot()
+	if s.Counters[MetricQueries] != 2 || s.Counters[MetricErrors] != 1 {
+		t.Errorf("queries %d errors %d, want 2/1", s.Counters[MetricQueries], s.Counters[MetricErrors])
+	}
+	if s.Counters[MetricBudgetDenied] != 0 {
+		t.Errorf("out-of-range errors must not count as budget denials")
+	}
+}
+
+// TestInstrumentNoDoubleWrap checks wrapping an already-instrumented
+// oracle does not double count.
+func TestInstrumentNoDoubleWrap(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	in := Instrument(&Exact{X: []int64{1}}, reg)
+	if again := Instrument(in, reg); again != in {
+		t.Fatal("Instrument should return an already-instrumented oracle unchanged")
+	}
+}
+
+// TestInstrumentedConcurrent hammers one instrumented budgeted oracle from
+// many goroutines; run under -race this checks both the atomic budget and
+// the atomic metric accounting, and the totals must still balance.
+func TestInstrumentedConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	const (
+		workers = 8
+		perW    = 500
+		limit   = 1234
+	)
+	x := make([]int64, 32)
+	for i := range x {
+		x[i] = int64(i % 2)
+	}
+	b := &Budgeted{Inner: &Exact{X: x}, Limit: limit}
+	in := Instrument(b, reg)
+
+	var wg sync.WaitGroup
+	denials := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				q := RandomSubsets(rng, len(x), 1)[0]
+				if _, err := in.SubsetSum(q); errors.Is(err, ErrBudgetExhausted) {
+					denials[w]++
+				} else if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	totalDenied := 0
+	for _, d := range denials {
+		totalDenied += d
+	}
+	total := workers * perW
+	if b.Used() != limit {
+		t.Errorf("budget used %d, want exactly %d", b.Used(), limit)
+	}
+	if totalDenied != total-limit {
+		t.Errorf("denials %d, want %d", totalDenied, total-limit)
+	}
+	s := reg.Snapshot()
+	if s.Counters[MetricQueries] != int64(total) {
+		t.Errorf("%s = %d, want %d", MetricQueries, s.Counters[MetricQueries], total)
+	}
+	if s.Counters[MetricBudgetDenied] != int64(total-limit) {
+		t.Errorf("%s = %d, want %d", MetricBudgetDenied, s.Counters[MetricBudgetDenied], total-limit)
+	}
+	if h := s.Histograms[MetricLatency]; h.Count != int64(total) {
+		t.Errorf("latency count %d, want %d", h.Count, total)
+	}
+	if h := s.Histograms[MetricSubsetSize]; h.Count != int64(total) {
+		t.Errorf("subset-size count %d, want %d", h.Count, total)
+	}
+}

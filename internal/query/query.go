@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"singlingout/internal/dist"
 )
@@ -89,18 +90,25 @@ func (l *Laplace) N() int { return len(l.X) }
 
 // Budgeted wraps an oracle and fails after Limit queries, modeling the
 // "limit the number of queries" defense discussed alongside Theorem 1.1.
+// The budget accounting is atomic, so a Budgeted oracle may be shared by
+// concurrent attackers (provided the inner oracle tolerates concurrency).
 type Budgeted struct {
 	Inner Oracle
 	Limit int
-	used  int
+	used  atomic.Int64
 }
 
 // SubsetSum implements Oracle, debiting one query from the budget.
 func (b *Budgeted) SubsetSum(q []int) (float64, error) {
-	if b.used >= b.Limit {
-		return 0, ErrBudgetExhausted
+	for {
+		u := b.used.Load()
+		if u >= int64(b.Limit) {
+			return 0, ErrBudgetExhausted
+		}
+		if b.used.CompareAndSwap(u, u+1) {
+			break
+		}
 	}
-	b.used++
 	return b.Inner.SubsetSum(q)
 }
 
@@ -108,7 +116,7 @@ func (b *Budgeted) SubsetSum(q []int) (float64, error) {
 func (b *Budgeted) N() int { return b.Inner.N() }
 
 // Used returns the number of queries spent so far.
-func (b *Budgeted) Used() int { return b.used }
+func (b *Budgeted) Used() int { return int(b.used.Load()) }
 
 func trueSum(x []int64, q []int) (int64, error) {
 	var s int64

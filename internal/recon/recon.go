@@ -12,7 +12,17 @@ import (
 	"math"
 
 	"singlingout/internal/lp"
+	"singlingout/internal/obs"
 	"singlingout/internal/query"
+)
+
+// Metrics recorded into obs.Default() by the attack harnesses.
+// recon.exhaustive_candidates counts candidate databases tested against the
+// collected answers — the 2^n cost of the Theorem 1.1(i) attack.
+var (
+	mExhaustive = obs.Default().Counter("recon.exhaustive_runs")
+	mCandidates = obs.Default().Counter("recon.exhaustive_candidates")
+	mLPDecodes  = obs.Default().Counter("recon.lp_decodes")
 )
 
 // HammingError returns the fraction of positions where the reconstruction
@@ -64,7 +74,11 @@ func Exhaustive(o query.Oracle, queries [][]int, alpha float64) ([]int64, error)
 		}
 		masks[qi] = m
 	}
+	mExhaustive.Add(1)
+	tested := int64(0)
+	defer func() { mCandidates.Add(tested) }()
 	for cand := uint32(0); cand < 1<<uint(n); cand++ {
+		tested++
 		ok := true
 		for qi := range masks {
 			s := float64(popcount32(cand & masks[qi]))
@@ -117,6 +131,7 @@ func LPDecode(o query.Oracle, queries [][]int, objective LPObjective) ([]int64, 
 	if m == 0 {
 		return nil, nil, fmt.Errorf("recon: no queries")
 	}
+	mLPDecodes.Add(1)
 	answers := make([]float64, m)
 	for qi, q := range queries {
 		a, err := o.SubsetSum(q)

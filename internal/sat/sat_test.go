@@ -369,3 +369,48 @@ func TestStatisticsAdvance(t *testing.T) {
 		t.Error("expected some propagations")
 	}
 }
+
+// TestSolverStats checks the search statistics move and the Progress hook
+// fires on a formula hard enough to force conflicts and decisions.
+func TestSolverStats(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(3))
+	vs := newVars(s, 40)
+	// Random 3-SAT near the satisfiability threshold generates plenty of
+	// conflicts without being hard.
+	for i := 0; i < 160; i++ {
+		var lits []int
+		for j := 0; j < 3; j++ {
+			l := vs[rng.Intn(len(vs))]
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			lits = append(lits, l)
+		}
+		if err := s.AddClause(lits...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	s.ProgressEvery = 1
+	s.Progress = func(st Stats) {
+		calls++
+		if st.Conflicts <= 0 {
+			t.Errorf("progress with zero conflicts: %+v", st)
+		}
+	}
+	res := s.Solve()
+	if res == Unknown {
+		t.Fatal("unexpected Unknown")
+	}
+	st := s.Stats()
+	if st.Decisions <= 0 {
+		t.Errorf("Decisions = %d, want positive", st.Decisions)
+	}
+	if st.Propagations <= 0 {
+		t.Errorf("Propagations = %d, want positive", st.Propagations)
+	}
+	if st.Conflicts > 0 && calls == 0 {
+		t.Errorf("Progress hook never fired despite %d conflicts", st.Conflicts)
+	}
+}

@@ -12,6 +12,8 @@ package sat
 import (
 	"errors"
 	"fmt"
+
+	"singlingout/internal/obs"
 )
 
 // Result is the outcome of Solve.
@@ -73,9 +75,39 @@ type Solver struct {
 	Conflicts int64
 	// Propagations counts total unit propagations (statistic).
 	Propagations int64
+	// Decisions counts total branching decisions across Solve calls.
+	Decisions int64
+	// Restarts counts total Luby restarts across Solve calls.
+	Restarts int64
 	// MaxConflicts bounds the search effort of a single Solve call; zero
 	// means unlimited.
 	MaxConflicts int64
+
+	// Progress, when set, is invoked every ProgressEvery conflicts (default
+	// 10000) with the solver's cumulative statistics. It must be cheap; it
+	// runs inside the search loop.
+	Progress func(Stats)
+	// ProgressEvery overrides the conflict interval between Progress calls.
+	ProgressEvery int64
+}
+
+// Stats is a snapshot of the solver's cumulative search statistics, as
+// passed to the Progress hook.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+}
+
+// Stats returns the solver's cumulative search statistics.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Conflicts:    s.Conflicts,
+		Restarts:     s.Restarts,
+	}
 }
 
 // New returns an empty solver.
@@ -430,6 +462,7 @@ func (s *Solver) decide() bool {
 	if !ok {
 		return false
 	}
+	s.Decisions++
 	s.trailLim = append(s.trailLim, int32(len(s.trail)))
 	l := best * 2
 	if !s.polarity[best] {
@@ -452,8 +485,30 @@ func luby(i int64) int64 {
 	}
 }
 
+// Metrics recorded into obs.Default() by Solve: deltas of the solver's
+// cumulative statistics are flushed once per Solve call, keeping the
+// search loop free of instrumentation.
+var (
+	mSolves       = obs.Default().Counter("sat.solves")
+	mDecisions    = obs.Default().Counter("sat.decisions")
+	mPropagations = obs.Default().Counter("sat.propagations")
+	mConflicts    = obs.Default().Counter("sat.conflicts")
+	mRestarts     = obs.Default().Counter("sat.restarts")
+	mSolveNS      = obs.Default().Histogram("sat.solve_ns")
+)
+
 // Solve searches for a satisfying assignment, honoring MaxConflicts.
 func (s *Solver) Solve() Result {
+	mSolves.Add(1)
+	sp := mSolveNS.Span()
+	defer sp.End()
+	before := s.Stats()
+	defer func() {
+		mDecisions.Add(s.Decisions - before.Decisions)
+		mPropagations.Add(s.Propagations - before.Propagations)
+		mConflicts.Add(s.Conflicts - before.Conflicts)
+		mRestarts.Add(s.Restarts - before.Restarts)
+	}()
 	if s.rootUnsat {
 		return Unsat
 	}
@@ -465,11 +520,18 @@ func (s *Solver) Solve() Result {
 	conflictsAtStart := s.Conflicts
 	budget := luby(restart) * 100
 	conflictsThisRestart := int64(0)
+	progressEvery := s.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 10000
+	}
 	for {
 		conflict := s.propagate()
 		if conflict != noConflict {
 			s.Conflicts++
 			conflictsThisRestart++
+			if s.Progress != nil && s.Conflicts%progressEvery == 0 {
+				s.Progress(s.Stats())
+			}
 			if len(s.trailLim) == 0 {
 				s.rootUnsat = true
 				return Unsat
@@ -489,6 +551,7 @@ func (s *Solver) Solve() Result {
 			}
 			if conflictsThisRestart >= budget {
 				restart++
+				s.Restarts++
 				budget = luby(restart) * 100
 				conflictsThisRestart = 0
 				s.cancelUntil(0)
