@@ -24,7 +24,7 @@ build:
 	$(GO) build ./...
 
 race:
-	$(GO) test -race ./internal/pso/... ./internal/obs/... ./internal/query/...
+	$(GO) test -race ./internal/par/... ./internal/pso/... ./internal/obs/... ./internal/query/... ./internal/census/...
 
 test:
 	$(GO) test ./...

@@ -6,10 +6,14 @@
 // Usage:
 //
 //	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full] [-stats]
-//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//	            [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -stats appends an obs metrics footer (oracle queries, simplex pivots,
 // SAT conflicts, ...) to every table.
+//
+// -workers sizes the worker pool the parallel harnesses fan out on
+// (0 = GOMAXPROCS). Per-item randomness derives from (seed, item index),
+// so tables are byte-identical at every worker count.
 package main
 
 import (
@@ -26,8 +30,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
 	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
+	workers := flag.Int("workers", 0, "worker-pool size for parallel attacks (0 = GOMAXPROCS); output is identical at any value")
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	stopProf, err := prof.Start()
 	if err != nil {

@@ -9,8 +9,14 @@
 //
 // Usage:
 //
-//	repro [-seed 1] [-quick] [-id E02] [-metrics out.jsonl]
+//	repro [-seed 1] [-quick] [-id E02] [-workers N] [-metrics out.jsonl]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -workers sizes the worker pool the parallel harnesses (E01, E02, E11,
+// E13, E19) fan out on (0 = GOMAXPROCS). Per-item randomness derives from
+// (seed, item index), so tables are byte-identical at every worker count.
+// With -metrics, a sequential-vs-parallel census probe is also timed and
+// lands as BENCH.census rows in the BENCH_<rev>.json summary.
 //
 // Failing experiments no longer abort the run: every experiment is
 // attempted, failures are reported together at the end, and the exit
@@ -20,13 +26,53 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
+	"singlingout/internal/census"
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
+	"singlingout/internal/synth"
 )
+
+// benchCensusProbe times the same census SAT reconstruction sequentially
+// and on a GOMAXPROCS-sized pool, emitting one "experiment"-phase event
+// per configuration so the sequential-vs-parallel comparison lands as
+// BENCH.census rows in BENCH_<rev>.json. The reconstructions themselves
+// are deterministic, so both rows describe identical work.
+func benchCensusProbe(emit func(obs.Event), seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 300, ZIPs: 3, BlocksPerZIP: 12})
+	if err != nil {
+		return err
+	}
+	cfg := census.DefaultConfig()
+	tables := census.Tabulate(pop, cfg)
+	// Always give the parallel row a pool of at least 2 so the two BENCH
+	// rows are distinct even on a single-CPU host (where the speedup is
+	// expected to be ~1x).
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 2 {
+		parWorkers = 2
+	}
+	for _, workers := range []int{1, parWorkers} {
+		start := time.Now()
+		if _, err := census.ReconstructAll(tables, cfg, 300000, workers); err != nil {
+			return err
+		}
+		emit(obs.Event{
+			Phase:   "experiment",
+			ID:      fmt.Sprintf("BENCH.census.workers=%d", workers),
+			Seed:    seed,
+			Seconds: time.Since(start).Seconds(),
+			Sizes:   map[string]int{"blocks": len(tables), "workers": workers},
+		})
+	}
+	return nil
+}
 
 // writeBench folds the finished journal back into a BENCH_<rev>.json
 // summary written beside it.
@@ -49,8 +95,10 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-size runs instead of publication sizes")
 	id := flag.String("id", "", "run a single experiment id")
 	metrics := flag.String("metrics", "", "write a JSONL run journal (and BENCH_<rev>.json beside it)")
+	workers := flag.Int("workers", 0, "worker-pool size for parallel harnesses (0 = GOMAXPROCS); output is identical at any value")
 	prof := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+	experiments.SetWorkers(*workers)
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -138,6 +186,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [%s completed in %s]\n\n", r.ID, elapsed.Round(time.Millisecond))
+	}
+	if journal != nil {
+		if err := benchCensusProbe(emit, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: bench probe: %v\n", err)
+		}
 	}
 	emit(obs.Event{
 		Phase:   "run_end",

@@ -32,7 +32,7 @@ func main() {
 	fmt.Printf("published %d block tables covering %d people\n", len(tables), pop.Len())
 
 	// Step 2: reconstruct.
-	results, sum, err := census.Reconstruct(pop, cfg, 500000)
+	results, sum, err := census.Reconstruct(pop, cfg, 500000, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 
 	"singlingout/internal/dataset"
 	"singlingout/internal/obs"
+	"singlingout/internal/par"
 	"singlingout/internal/query"
 	"singlingout/internal/sat"
 	"singlingout/internal/synth"
@@ -348,10 +349,36 @@ type Summary struct {
 	ExactFraction float64 // ExactRecords / Persons
 }
 
+// ReconstructAll solves every block's SAT instance on a pool of `workers`
+// goroutines (<= 0 selects GOMAXPROCS) and returns the results in table
+// order. Each block is an independent instance and the solver is
+// deterministic, so the results are identical at any worker count. Blocks
+// whose tables are jointly unsatisfiable (the DP-noise defense) count as
+// unsolved rather than erroring; any other solver error cancels the
+// remaining blocks and is returned.
+func ReconstructAll(tables []BlockTables, cfg Config, maxConflictsPerBlock int64, workers int) ([]BlockResult, error) {
+	results := make([]BlockResult, len(tables))
+	err := par.ForEach(workers, len(tables), func(i int) error {
+		r, err := ReconstructBlock(tables[i], cfg, maxConflictsPerBlock)
+		if errors.Is(err, ErrInconsistentTables) {
+			r = BlockResult{Block: tables[i].Block, Size: tables[i].Total}
+		} else if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // Reconstruct runs the attack over all blocks of honestly tabulated data
-// and scores it against the ground truth.
-func Reconstruct(pop *dataset.Dataset, cfg Config, maxConflictsPerBlock int64) ([]BlockResult, Summary, error) {
-	return ReconstructTables(Tabulate(pop, cfg), TrueTuples(pop, cfg), cfg, maxConflictsPerBlock)
+// and scores it against the ground truth, solving blocks concurrently on
+// `workers` goroutines (<= 0 selects GOMAXPROCS).
+func Reconstruct(pop *dataset.Dataset, cfg Config, maxConflictsPerBlock int64, workers int) ([]BlockResult, Summary, error) {
+	return ReconstructTables(Tabulate(pop, cfg), TrueTuples(pop, cfg), cfg, maxConflictsPerBlock, workers)
 }
 
 // SizeBucket labels a block-size range in the vulnerability breakdown.

@@ -1,0 +1,48 @@
+package census
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"singlingout/internal/synth"
+)
+
+// BenchmarkCensusReconstructParallel measures the SAT reconstruction of a
+// full tabulated population, sequentially and on the shared worker pool.
+// The "speedup" metric on the parallel sub-benchmark is sequential ns/op
+// divided by parallel ns/op; with GOMAXPROCS >= 4 the block solves are
+// independent enough that it should exceed 2x.
+func BenchmarkCensusReconstructParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 400, ZIPs: 3, BlocksPerZIP: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+
+	run := func(b *testing.B, workers int) float64 {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ReconstructAll(tables, cfg, 300000, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+
+	var seqNS float64
+	b.Run("sequential", func(b *testing.B) {
+		seqNS = run(b, 1)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		parNS := run(b, runtime.GOMAXPROCS(0))
+		if seqNS > 0 && parNS > 0 {
+			b.ReportMetric(seqNS/parNS, "speedup")
+		}
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	})
+}

@@ -98,7 +98,7 @@ func TestReconstructPopulation(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 150, ZIPs: 3, BlocksPerZIP: 12})
 	cfg := DefaultConfig()
-	results, sum, err := Reconstruct(pop, cfg, 200000)
+	results, sum, err := Reconstruct(pop, cfg, 200000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestLinkageReIdentifies(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 120, ZIPs: 3, BlocksPerZIP: 15})
 	cfg := DefaultConfig()
-	results, _, err := Reconstruct(pop, cfg, 200000)
+	results, _, err := Reconstruct(pop, cfg, 200000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestReconstructBudgetExhaustion(t *testing.T) {
 	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 60, ZIPs: 1, BlocksPerZIP: 2})
 	// A conflict budget of 1 should leave large blocks unsolved (but not
 	// error).
-	_, sum, err := Reconstruct(pop, DefaultConfig(), 1)
+	_, sum, err := Reconstruct(pop, DefaultConfig(), 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestReconstructBudgetExhaustion(t *testing.T) {
 func TestSummaryBySize(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 200, ZIPs: 3, BlocksPerZIP: 15})
-	results, _, err := Reconstruct(pop, DefaultConfig(), 200000)
+	results, _, err := Reconstruct(pop, DefaultConfig(), 200000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

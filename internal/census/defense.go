@@ -1,7 +1,6 @@
 package census
 
 import (
-	"errors"
 	"math/rand"
 
 	"singlingout/internal/dataset"
@@ -73,21 +72,21 @@ func NoisyTables(rng *rand.Rand, tables []BlockTables, eps float64) []BlockTable
 // ReconstructTables runs the SAT attack against an arbitrary set of
 // published tables (possibly swapped or noised), scoring exactness
 // against the supplied ground truth. Blocks whose tables are jointly
-// unsatisfiable count as unsolved rather than erroring.
-func ReconstructTables(tables []BlockTables, truth map[int64][]Tuple, cfg Config, maxConflictsPerBlock int64) ([]BlockResult, Summary, error) {
-	var results []BlockResult
+// unsatisfiable count as unsolved rather than erroring. Blocks are solved
+// concurrently on a pool of `workers` goroutines (<= 0 selects
+// GOMAXPROCS); solving is deterministic per block, so results and summary
+// are identical at any worker count.
+func ReconstructTables(tables []BlockTables, truth map[int64][]Tuple, cfg Config, maxConflictsPerBlock int64, workers int) ([]BlockResult, Summary, error) {
+	results, err := ReconstructAll(tables, cfg, maxConflictsPerBlock, workers)
+	if err != nil {
+		return nil, Summary{}, err
+	}
 	var sum Summary
-	for _, bt := range tables {
-		r, err := ReconstructBlock(bt, cfg, maxConflictsPerBlock)
-		if errors.Is(err, ErrInconsistentTables) {
-			r = BlockResult{Block: bt.Block, Size: bt.Total}
-		} else if err != nil {
-			return nil, Summary{}, err
-		}
-		r.Exact = MultisetIntersection(truth[bt.Block], r.Tuples)
-		results = append(results, r)
+	for i := range results {
+		r := &results[i]
+		r.Exact = MultisetIntersection(truth[r.Block], r.Tuples)
 		sum.Blocks++
-		sum.Persons += len(truth[bt.Block])
+		sum.Persons += len(truth[r.Block])
 		if r.Solved {
 			sum.Solved++
 			sum.ExactRecords += r.Exact

@@ -61,14 +61,14 @@ func TestSwappingDegradesConfirmedReidentification(t *testing.T) {
 	truth := TrueTuples(pop, cfg)
 	reg, _ := synth.Registry(rng, pop, 0.8)
 
-	raw, _, err := ReconstructTables(Tabulate(pop, cfg), truth, cfg, 300000)
+	raw, _, err := ReconstructTables(Tabulate(pop, cfg), truth, cfg, 300000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rawLink := Linkage(pop, reg, raw, cfg)
 
 	swapped := SwapRecords(rng, pop, 0.5)
-	swpResults, swpSum, err := ReconstructTables(Tabulate(swapped, cfg), truth, cfg, 300000)
+	swpResults, swpSum, err := ReconstructTables(Tabulate(swapped, cfg), truth, cfg, 300000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestNoisyTablesResistReconstruction(t *testing.T) {
 	cfg := DefaultConfig()
 	truth := TrueTuples(pop, cfg)
 	noisy := NoisyTables(rng, Tabulate(pop, cfg), 0.5)
-	results, sum, err := ReconstructTables(noisy, truth, cfg, 100000)
+	results, sum, err := ReconstructTables(noisy, truth, cfg, 100000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestNoisyTablesResistReconstruction(t *testing.T) {
 	}
 	// Most noisy blocks are jointly inconsistent (unsolvable), and what
 	// remains reconstructs the truth far worse than the raw tables do.
-	raw, rawSum, err := ReconstructTables(Tabulate(pop, cfg), truth, cfg, 100000)
+	raw, rawSum, err := ReconstructTables(Tabulate(pop, cfg), truth, cfg, 100000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

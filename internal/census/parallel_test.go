@@ -1,0 +1,99 @@
+package census
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"singlingout/internal/synth"
+)
+
+// TestReconstructAllWorkerCountInvariance checks the determinism contract
+// end to end: block solving is deterministic per block, so the full result
+// slice must be identical (order included) at any worker count.
+func TestReconstructAllWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 200, ZIPs: 3, BlocksPerZIP: 10})
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+	base, err := ReconstructAll(tables, cfg, 200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := ReconstructAll(tables, cfg, 200000, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d: results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestReconstructAllConcurrentCalls exercises ReconstructAll itself being
+// invoked from several goroutines at once (as the experiment harnesses may
+// do), each with an internal pool. Meaningful under -race.
+func TestReconstructAllConcurrentCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 120, ZIPs: 2, BlocksPerZIP: 8})
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	outs := make([][]BlockResult, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			outs[g], errs[g] = ReconstructAll(tables, cfg, 200000, 4)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		if errs[g] != nil {
+			t.Fatalf("call %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(outs[0], outs[g]) {
+			t.Fatalf("call %d returned different results", g)
+		}
+	}
+}
+
+// TestReconstructAllUnsatisfiableBlock verifies that a jointly
+// unsatisfiable block is reported as unsolved rather than aborting the
+// whole run — matching ReconstructTables' historical behavior now that
+// blocks are solved on a pool.
+func TestReconstructAllUnsatisfiableBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pop, _ := synth.Population(rng, synth.PopulationConfig{N: 80, ZIPs: 2, BlocksPerZIP: 6})
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+	// Corrupt one block: claim one more person in the sex×age table than
+	// the race×ethnicity table accounts for.
+	for k := range tables[0].SexAge {
+		tables[0].SexAge[k]++
+		tables[0].Total++
+		break
+	}
+	results, err := ReconstructAll(tables, cfg, 200000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Solved {
+		t.Error("corrupted block reported as solved")
+	}
+	if results[0].Block != tables[0].Block {
+		t.Errorf("placeholder result has block %d, want %d", results[0].Block, tables[0].Block)
+	}
+	solved := 0
+	for _, r := range results[1:] {
+		if r.Solved {
+			solved++
+		}
+	}
+	if solved == 0 {
+		t.Error("no other block solved; corruption should be local")
+	}
+}

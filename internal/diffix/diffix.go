@@ -53,12 +53,15 @@ func (c *Cloak) SubsetSum(q []int) (float64, error) {
 		c.Suppressed++
 		return 0, fmt.Errorf("%w: %d < %d", ErrSuppressed, len(q), c.Threshold)
 	}
+	// Same well-formedness contract as the query package's oracles: a
+	// duplicated user would be counted twice here but once by the LP
+	// decoder's coefficient rows, so the query is rejected instead.
+	if err := query.ValidateQuery(len(c.X), q); err != nil {
+		return 0, fmt.Errorf("diffix: %w", err)
+	}
 	var sum int64
 	h := uint64(c.Seed)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
 	for _, i := range q {
-		if i < 0 || i >= len(c.X) {
-			return 0, fmt.Errorf("diffix: user %d out of range", i)
-		}
 		sum += c.X[i]
 		// Order-independent sticky hash of the query set: queries are
 		// canonical (sorted index sets), so mixing sequentially is stable.

@@ -45,9 +45,11 @@ func TestSuppression(t *testing.T) {
 	if c.Queries != 1 {
 		t.Errorf("Queries = %d", c.Queries)
 	}
-	if _, err := c.SubsetSum(make([]int, 11)); err != nil {
-		// all zeros: index 0 repeated — legal indices, answered
-		t.Errorf("unexpected: %v", err)
+	if _, err := c.SubsetSum(make([]int, 11)); err == nil {
+		// all zeros: index 0 repeated — a malformed query the cloak must
+		// reject, like every other oracle (it would count user 0 eleven
+		// times while the LP decoder counts them once).
+		t.Error("duplicate-index query should fail")
 	}
 	bad := make([]int, 12)
 	bad[3] = 99

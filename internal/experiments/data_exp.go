@@ -27,7 +27,7 @@ func E11CensusReconstruction(seed int64, quick bool) (*Table, error) {
 		return nil, err
 	}
 	cfg := census.DefaultConfig()
-	results, sum, err := census.Reconstruct(pop, cfg, 500000)
+	results, sum, err := census.Reconstruct(pop, cfg, 500000, Workers())
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +288,7 @@ func E19CensusDefenses(seed int64, quick bool) (*Table, error) {
 		},
 	}
 	run := func(name string, tables []census.BlockTables) error {
-		results, sum, err := census.ReconstructTables(tables, truth, cfg, 300000)
+		results, sum, err := census.ReconstructTables(tables, truth, cfg, 300000, Workers())
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"singlingout/internal/diffix"
 	"singlingout/internal/dp"
+	"singlingout/internal/par"
 	"singlingout/internal/query"
 	"singlingout/internal/recon"
 	"singlingout/internal/synth"
@@ -15,8 +16,9 @@ import (
 // E01Exhaustive reproduces Theorem 1.1(i) at small n: with answer error
 // alpha well below n, the exhaustive attack reconstructs nearly the whole
 // database; as alpha grows toward a constant fraction of n, error climbs.
+// Grid points run concurrently on the shared pool; each derives its RNG
+// from (seed, point index), so the table is identical at any worker count.
 func E01Exhaustive(seed int64, quick bool) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
 	n, queries, trials := 16, 300, 5
 	if quick {
 		n, queries, trials = 12, 120, 3
@@ -27,13 +29,18 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 		Header: []string{"alpha", "alpha/n", "mean Hamming error", "reconstructed ≥95%?"},
 		Notes:  []string{"Thm 1.1(i): any candidate consistent within alpha disagrees on O(alpha) entries"},
 	}
-	alphas := []float64{0, 1, 2, float64(n) / 4, float64(n) / 2, 3 * float64(n) / 4, float64(n)}
+	var alphas []float64
 	seen := map[float64]bool{}
-	for _, alpha := range alphas {
-		if seen[alpha] {
-			continue
+	for _, alpha := range []float64{0, 1, 2, float64(n) / 4, float64(n) / 2, 3 * float64(n) / 4, float64(n)} {
+		if !seen[alpha] {
+			seen[alpha] = true
+			alphas = append(alphas, alpha)
 		}
-		seen[alpha] = true
+	}
+	errs := make([]float64, len(alphas))
+	err := par.ForEach(Workers(), len(alphas), func(i int) error {
+		rng := par.RNG(seed, i)
+		alpha := alphas[i]
 		meanErr := 0.0
 		for trial := 0; trial < trials; trial++ {
 			x := synth.BinaryDataset(rng, n, 0.5)
@@ -41,16 +48,22 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
 			got, err := recon.Exhaustive(o, qs, alpha)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			meanErr += recon.HammingError(x, got)
 		}
-		meanErr /= float64(trials)
+		errs[i] = meanErr / float64(trials)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, alpha := range alphas {
 		ok := "yes"
-		if meanErr > 0.05 {
+		if errs[i] > 0.05 {
 			ok = "no"
 		}
-		t.AddRow(g3(alpha), g3(alpha/float64(n)), f3(meanErr), ok)
+		t.AddRow(g3(alpha), g3(alpha/float64(n)), f3(errs[i]), ok)
 	}
 	return t, nil
 }
@@ -59,9 +72,10 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 // crossover: LP decoding with 4n queries defeats noise up to roughly √n,
 // and degrades to coin-flipping as noise approaches n.
 func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
 	// n=96 keeps a full sweep within minutes on a laptop; the shape is
-	// already stable from n≈32 (see the quick sizes).
+	// already stable from n≈32 (see the quick sizes). The (n, c) grid is
+	// flattened and fanned over the shared pool; per-point RNGs keep the
+	// table identical at any worker count.
 	ns := []int{32, 64, 96}
 	trials := 2
 	if quick {
@@ -73,27 +87,44 @@ func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
 		Header: []string{"n", "c = alpha/√n", "mean Hamming error", "blatantly non-private (err<5%)?"},
 		Notes:  []string{"Thm 1.1(ii) + Dwork–Roth fundamental law: accuracy o(√n) destroys privacy; error Θ(n) defends"},
 	}
+	type point struct {
+		n int
+		c float64
+	}
+	var grid []point
 	for _, n := range ns {
 		for _, c := range []float64{0, 0.25, 0.5, 1, 2, float64(n) / (3 * math.Sqrt(float64(n)))} {
-			alpha := c * math.Sqrt(float64(n))
-			meanErr := 0.0
-			for trial := 0; trial < trials; trial++ {
-				x := synth.BinaryDataset(rng, n, 0.5)
-				qs := query.RandomSubsets(rng, n, 4*n)
-				o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-				got, _, err := recon.LPDecode(o, qs, recon.L1Slack)
-				if err != nil {
-					return nil, err
-				}
-				meanErr += recon.HammingError(x, got)
-			}
-			meanErr /= float64(trials)
-			ok := "yes"
-			if meanErr > 0.05 {
-				ok = "no"
-			}
-			t.AddRow(fmt.Sprintf("%d", n), g3(c), f3(meanErr), ok)
+			grid = append(grid, point{n, c})
 		}
+	}
+	errs := make([]float64, len(grid))
+	err := par.ForEach(Workers(), len(grid), func(i int) error {
+		rng := par.RNG(seed, i)
+		n, c := grid[i].n, grid[i].c
+		alpha := c * math.Sqrt(float64(n))
+		meanErr := 0.0
+		for trial := 0; trial < trials; trial++ {
+			x := synth.BinaryDataset(rng, n, 0.5)
+			qs := query.RandomSubsets(rng, n, 4*n)
+			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
+			got, _, err := recon.LPDecode(o, qs, recon.L1Slack)
+			if err != nil {
+				return err
+			}
+			meanErr += recon.HammingError(x, got)
+		}
+		errs[i] = meanErr / float64(trials)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range grid {
+		ok := "yes"
+		if errs[i] > 0.05 {
+			ok = "no"
+		}
+		t.AddRow(fmt.Sprintf("%d", p.n), g3(p.c), f3(errs[i]), ok)
 	}
 	return t, nil
 }
@@ -138,7 +169,6 @@ func E03LaplaceDP(seed int64, quick bool) (*Table, error) {
 // suppression do not prevent LP reconstruction until the noise reaches the
 // fundamental-law scale.
 func E13DiffixReconstruction(seed int64, quick bool) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
 	n := 96
 	if quick {
 		n = 48
@@ -149,17 +179,30 @@ func E13DiffixReconstruction(seed int64, quick bool) (*Table, error) {
 		Header: []string{"sticky noise SD", "SD/√n", "Hamming error", "defeated (err<5%)?"},
 		Notes:  []string{"[13]: deployed sticky-noise magnitudes are far below √n, so reconstruction succeeds"},
 	}
-	for _, sd := range []float64{1, 2, 4, math.Sqrt(float64(n)), float64(n) / 3} {
+	// One cloak + attack per noise level, fanned over the shared pool;
+	// each level's RNG derives from (seed, index) for worker invariance.
+	sds := []float64{1, 2, 4, math.Sqrt(float64(n)), float64(n) / 3}
+	results := make([]diffix.AttackResult, len(sds))
+	err := par.ForEach(Workers(), len(sds), func(i int) error {
+		rng := par.RNG(seed, i)
+		sd := sds[i]
 		c := &diffix.Cloak{X: synth.BinaryDataset(rng, n, 0.5), SD: sd, Threshold: 8, Seed: seed + int64(sd*100)}
 		res, _, err := diffix.Attack(rng, c, 4*n)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sd := range sds {
 		defeated := "yes"
-		if res.HammingError > 0.05 {
+		if results[i].HammingError > 0.05 {
 			defeated = "no"
 		}
-		t.AddRow(g3(sd), g3(sd/math.Sqrt(float64(n))), f3(res.HammingError), defeated)
+		t.AddRow(g3(sd), g3(sd/math.Sqrt(float64(n))), f3(results[i].HammingError), defeated)
 	}
 	return t, nil
 }

@@ -1,0 +1,22 @@
+package experiments
+
+import "sync/atomic"
+
+// poolWorkers is the worker-pool size the grid-parallel harnesses (E01,
+// E02, E13) and the census pipeline (E11, E19) use. 0 selects GOMAXPROCS.
+var poolWorkers atomic.Int64
+
+// SetWorkers sets the worker-pool size used by harnesses that fan
+// independent grid points / block solves over internal/par (n <= 0 selects
+// GOMAXPROCS). The determinism contract holds regardless: every harness
+// derives per-item randomness from (seed, index), so the same seed
+// produces byte-identical tables at any worker count.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	poolWorkers.Store(int64(n))
+}
+
+// Workers returns the configured worker-pool size (0 = GOMAXPROCS).
+func Workers() int { return int(poolWorkers.Load()) }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetWorkersClamp(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(5)
+	if Workers() != 5 {
+		t.Errorf("Workers() = %d, want 5", Workers())
+	}
+	SetWorkers(-3)
+	if Workers() != 0 {
+		t.Errorf("Workers() = %d after negative set, want 0", Workers())
+	}
+}
+
+// TestWorkerCountInvariance is the determinism contract test for the
+// parallel harnesses: the same seed must render byte-identical tables at
+// -workers 1 and -workers 8. Every harness that fans out over
+// internal/par is covered (E01, E02, E13 grid points; E11 census blocks).
+func TestWorkerCountInvariance(t *testing.T) {
+	defer SetWorkers(0)
+	const seed = 7
+	runners := []Runner{}
+	for _, id := range []string{"E01", "E02", "E11", "E13"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		runners = append(runners, r)
+	}
+	render := func(workers int) map[string]string {
+		t.Helper()
+		SetWorkers(workers)
+		out := map[string]string{}
+		for _, r := range runners {
+			tab, err := r.Run(seed, true)
+			if err != nil {
+				t.Fatalf("%s at workers=%d: %v", r.ID, workers, err)
+			}
+			var b strings.Builder
+			if err := tab.Fprint(&b); err != nil {
+				t.Fatal(err)
+			}
+			out[r.ID] = b.String()
+		}
+		return out
+	}
+	seq := render(1)
+	par := render(8)
+	for id, want := range seq {
+		if par[id] != want {
+			t.Errorf("%s: table at workers=8 differs from workers=1\n--- workers=1 ---\n%s--- workers=8 ---\n%s", id, want, par[id])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package par is the repository's deterministic fan-out engine. The
+// paper's quantitative core is a pile of independent solves — one SAT
+// instance per census block (E11), one LP decode per (n, α) grid point
+// (E02/E13), one trial per PSO game (E08–E10) — and par runs such piles on
+// a bounded worker pool while keeping every result bit-for-bit
+// independent of the worker count.
+//
+// The determinism contract has two halves:
+//
+//   - Randomness: work items never share a random stream. Each item
+//     derives its own source from (seed, index) via SeedFor, so the values
+//     an item draws depend only on the seed and its index, never on which
+//     worker ran it or in what order.
+//   - Errors: ForEach dispenses indices in increasing order and stops
+//     dispensing after the first failure, so every index below the lowest
+//     failing one is guaranteed to have run. ForEach reports the error of
+//     the lowest failing index — a deterministic choice even though the
+//     set of higher indices that happened to run is not.
+//
+// Together: same seed ⇒ same results (and same error) at any worker
+// count.
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"singlingout/internal/obs"
+)
+
+// Metrics recorded into obs.Default() by the pool. par.items counts work
+// items executed, par.item_errors counts items whose fn returned an error,
+// par.cancelled counts items skipped by first-error cancellation, and
+// par.item_ns times individual items.
+var (
+	mItems     = obs.Default().Counter("par.items")
+	mErrors    = obs.Default().Counter("par.item_errors")
+	mCancelled = obs.Default().Counter("par.cancelled")
+	mItemNS    = obs.Default().Histogram("par.item_ns")
+	mWorkers   = obs.Default().Gauge("par.workers")
+)
+
+// Workers resolves a requested worker count against n work items:
+// requested <= 0 selects GOMAXPROCS, and the result never exceeds n (no
+// point spinning up idle goroutines).
+func Workers(requested, n int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > n {
+		requested = n
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// SeedFor derives an independent per-item seed from a base seed and a work
+// item index (a golden-ratio multiplicative mix). Two items of the same
+// run never share a seed, and the derivation depends only on (seed,
+// index), which is what makes pooled results independent of scheduling.
+func SeedFor(seed int64, index int) int64 {
+	return seed ^ int64(uint64(index)*0x9e3779b97f4a7c15)
+}
+
+// RNG returns a fresh rand.Rand seeded with SeedFor(seed, index) — the
+// standard per-item source for pooled work.
+func RNG(seed int64, index int) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(seed, index)))
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a bounded worker pool and
+// waits for completion. Indices are dispensed in increasing order; after
+// any fn returns an error, no further indices are started (items already
+// started run to completion). ForEach returns the error of the lowest
+// failing index, which is deterministic for deterministic fn regardless
+// of worker count or scheduling (see the package comment).
+//
+// fn must be safe to call from multiple goroutines; writes to shared state
+// should go to per-index slots (e.g. results[i]). workers <= 0 selects
+// GOMAXPROCS.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers, n)
+	mWorkers.Set(float64(workers))
+	if workers == 1 {
+		// Inline fast path: no goroutines, same dispense order and
+		// first-error semantics as the pooled path.
+		for i := 0; i < n; i++ {
+			if err := runItem(i, fn); err != nil {
+				mCancelled.Add(int64(n - i - 1))
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The failure check precedes the claim, and every claimed index
+			// runs. Indices are claimed in increasing order, so when the
+			// lowest deterministically-failing index k is claimed, every
+			// index below it was claimed earlier and therefore also runs —
+			// which is what makes "error of the lowest failing index"
+			// well-defined at any worker count.
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runItem(i, fn); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if claimed := int(next.Load()); claimed < n {
+		mCancelled.Add(int64(n - claimed))
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runItem executes one work item with span/counter accounting.
+func runItem(i int, fn func(int) error) error {
+	sp := mItemNS.Span()
+	err := fn(i)
+	sp.End()
+	mItems.Add(1)
+	if err != nil {
+		mErrors.Add(1)
+	}
+	return err
+}

@@ -3,30 +3,29 @@ package pso
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"singlingout/internal/dataset"
 	"singlingout/internal/dist"
+	"singlingout/internal/par"
 )
 
-// RunParallel plays the same game as Run with trials distributed over a
-// worker pool. Each trial derives its own random source from the base
-// seed and the trial index, so the aggregate result is deterministic in
-// the seed and independent of the worker count (unlike Run, which threads
-// one source through all trials — the two functions therefore produce
-// different, but individually reproducible, streams).
+// RunParallel plays the same game as Run with trials distributed over the
+// shared par worker pool. Each trial derives its own random source from
+// the base seed and the trial index (par.SeedFor), so the aggregate result
+// is deterministic in the seed and independent of the worker count (unlike
+// Run, which threads one source through all trials — the two functions
+// therefore produce different, but individually reproducible, streams).
+//
+// A mechanism failure cancels the remaining trials and is reported as the
+// run's error; the error returned is that of the lowest failing trial
+// index, so it too is deterministic at any worker count. Attack failures
+// are per-trial outcomes (counted in Result.AttackErrors), exactly as in
+// Run.
 //
 // workers <= 0 selects GOMAXPROCS.
 func RunParallel(seed int64, cfg Config, m Mechanism, a Attacker, workers int) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
 	}
 
 	type trialOutcome struct {
@@ -36,61 +35,56 @@ func RunParallel(seed int64, cfg Config, m Mechanism, a Attacker, workers int) (
 		isolated bool
 		light    bool
 		errored  bool
-		err      error
 	}
 	outcomes := make([]trialOutcome, cfg.Trials)
-	var wg sync.WaitGroup
-	// Buffered so that workers exiting early (on mechanism failure) can
-	// never block the producer.
-	next := make(chan int, cfg.Trials)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for trial := range next {
-				// Per-trial source: deterministic in (seed, trial) and
-				// independent of scheduling.
-				rng := rand.New(rand.NewSource(seed ^ int64(uint64(trial)*0x9e3779b97f4a7c15)))
-				o := &outcomes[trial]
-				d := dataset.New(cfg.Schema)
-				for i := 0; i < cfg.N; i++ {
-					d.MustAppend(cfg.Sample(rng))
-				}
-				released, err := m.Release(rng, d)
-				if err != nil {
-					o.err = fmt.Errorf("pso: mechanism failed: %w", err)
-					return
-				}
-				p, err := a.Attack(rng, released, cfg.N)
-				if err != nil {
-					o.errored = true
-					continue
-				}
-				o.nominal = p.NominalWeight()
-				if cfg.WeightCheckSamples > 0 {
-					o.measured = EstimateWeight(rng, p, cfg.Sample, cfg.WeightCheckSamples)
-					o.checked = true
-				}
-				if Isolates(p, d) {
-					o.isolated = true
-					o.light = o.nominal <= cfg.Tau
-				}
+	err := par.ForEach(workers, cfg.Trials, func(trial int) error {
+		mTrials.Add(1)
+		sp := mTrialNS.Span()
+		defer sp.End()
+		// Per-trial source: deterministic in (seed, trial) and independent
+		// of scheduling.
+		rng := rand.New(rand.NewSource(par.SeedFor(seed, trial)))
+		o := &outcomes[trial]
+		d := dataset.New(cfg.Schema)
+		for i := 0; i < cfg.N; i++ {
+			d.MustAppend(cfg.Sample(rng))
+		}
+		released, err := m.Release(rng, d)
+		if err != nil {
+			// Returning the error (rather than stashing it in the outcome)
+			// hands cancellation to the pool: remaining trials are not
+			// started, and the run fails deterministically.
+			return fmt.Errorf("pso: mechanism failed: %w", err)
+		}
+		p, err := a.Attack(rng, released, cfg.N)
+		if err != nil {
+			o.errored = true
+			mAttackErrors.Add(1)
+			return nil
+		}
+		o.nominal = p.NominalWeight()
+		if cfg.WeightCheckSamples > 0 {
+			o.measured = EstimateWeight(rng, p, cfg.Sample, cfg.WeightCheckSamples)
+			o.checked = true
+		}
+		if Isolates(p, d) {
+			o.isolated = true
+			mIsolations.Add(1)
+			o.light = o.nominal <= cfg.Tau
+			if o.light {
+				mSuccesses.Add(1)
 			}
-		}()
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		next <- trial
-	}
-	close(next)
-	wg.Wait()
 
 	res := Result{Mechanism: m.Describe(), Attacker: a.Describe(), Trials: cfg.Trials}
 	var sumNominal, sumMeasured float64
 	measured := 0
 	for _, o := range outcomes {
-		if o.err != nil {
-			return Result{}, o.err
-		}
 		if o.errored {
 			res.AttackErrors++
 			continue

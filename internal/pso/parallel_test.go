@@ -1,8 +1,12 @@
 package pso
 
 import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 
+	"singlingout/internal/dataset"
 	"singlingout/internal/synth"
 )
 
@@ -67,6 +71,69 @@ func TestRunParallelValidatesAndPropagates(t *testing.T) {
 	}
 	if res.AttackErrors != 4 {
 		t.Errorf("AttackErrors = %d, want 4", res.AttackErrors)
+	}
+}
+
+// failingMechanism fails Release calls by global call number (1-based):
+// every call from FailFrom onward, or exactly the FailFrom-th when Once is
+// set. It reproduces the worker-death regression: a mechanism error used
+// to `return` out of a pool worker goroutine, killing that worker for the
+// rest of the run while the survivors kept burning CPU on a run that was
+// already doomed.
+type failingMechanism struct {
+	Calls    *atomic.Int64
+	FailFrom int64
+	Once     bool
+}
+
+func (f failingMechanism) Release(rng *rand.Rand, d *dataset.Dataset) (any, error) {
+	n := f.Calls.Add(1)
+	if n == f.FailFrom || (!f.Once && n > f.FailFrom) {
+		return nil, errors.New("mechanism backend unavailable")
+	}
+	return 0, nil
+}
+
+func (f failingMechanism) Describe() string { return "failing mechanism" }
+
+// TestRunParallelMechanismFailureCancelsPromptly is the regression test
+// for the worker-death bug: a single early mechanism failure with
+// workers > 1 must shut the run down cleanly instead of draining every
+// queued trial through the surviving workers. Before the fix the one
+// failing trial killed its worker, the error sat unreported until the end,
+// and the other workers released all ~2000 remaining trials.
+func TestRunParallelMechanismFailureCancelsPromptly(t *testing.T) {
+	cfg := BirthdayConfig(1e-6, 2000)
+	var calls atomic.Int64
+	mech := failingMechanism{Calls: &calls, FailFrom: 1, Once: true}
+	_, err := RunParallel(11, cfg, mech, Birthday{Attr: 0, Min: 0, Domain: BirthdayDomain}, 4)
+	if err == nil {
+		t.Fatal("mechanism failure must fail the run")
+	}
+	if got := calls.Load(); got > int64(cfg.Trials)/10 {
+		t.Errorf("%d of %d trials released after a first-trial mechanism failure; remaining trials were not cancelled", got, cfg.Trials)
+	}
+}
+
+// TestRunParallelMechanismFailureDeterministic asserts the reported error
+// is the lowest failing trial's at every worker count — the determinism
+// half of the shutdown contract.
+func TestRunParallelMechanismFailureDeterministic(t *testing.T) {
+	cfg := BirthdayConfig(1e-6, 64)
+	var want error
+	for _, workers := range []int{1, 2, 4, 8} {
+		var calls atomic.Int64
+		// Every trial fails, so the lowest failing index is trial 0.
+		mech := failingMechanism{Calls: &calls, FailFrom: 1}
+		_, err := RunParallel(11, cfg, mech, Birthday{Attr: 0, Min: 0, Domain: BirthdayDomain}, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if want == nil {
+			want = err
+		} else if err.Error() != want.Error() {
+			t.Errorf("workers=%d: error %q differs from workers=1 error %q", workers, err, want)
+		}
 	}
 }
 

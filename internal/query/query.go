@@ -25,7 +25,9 @@ var ErrBudgetExhausted = errors.New("query: query budget exhausted")
 // Oracle answers subset-sum queries over a hidden binary dataset.
 type Oracle interface {
 	// SubsetSum returns an estimate of Σ_{i∈q} x_i. Implementations define
-	// their own error guarantee.
+	// their own error guarantee. q must be a well-formed subset query (see
+	// ValidateQuery): the built-in oracles reject out-of-range and
+	// duplicated indices.
 	SubsetSum(q []int) (float64, error)
 	// N returns the number of records in the hidden dataset.
 	N() int
@@ -118,12 +120,54 @@ func (b *Budgeted) N() int { return b.Inner.N() }
 // Used returns the number of queries spent so far.
 func (b *Budgeted) Used() int { return int(b.used.Load()) }
 
+// ValidateQuery checks that q is a well-formed subset-sum query over a
+// dataset of n records: every index in range and no index repeated. This
+// is the single place query well-formedness is defined — a query is a
+// subset q ⊆ [n], so a duplicated index has no meaning. Before duplicates
+// were rejected here, the built-in oracles counted a duplicated index
+// twice while the attacks' candidate evaluations (e.g. the bitmask scan in
+// recon.Exhaustive) collapsed it to one, so attacker and oracle silently
+// disagreed on what the query meant. Both sides now call ValidateQuery and
+// fail identically.
+func ValidateQuery(n int, q []int) error {
+	if len(q) <= smallQuery {
+		// Quadratic scan: cheaper than allocating for the short queries the
+		// adaptive attacks issue.
+		for j, i := range q {
+			if i < 0 || i >= n {
+				return fmt.Errorf("query: index %d outside dataset of size %d", i, n)
+			}
+			for _, prev := range q[:j] {
+				if prev == i {
+					return fmt.Errorf("query: duplicate index %d (a query is a subset of [n])", i)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make([]bool, n)
+	for _, i := range q {
+		if i < 0 || i >= n {
+			return fmt.Errorf("query: index %d outside dataset of size %d", i, n)
+		}
+		if seen[i] {
+			return fmt.Errorf("query: duplicate index %d (a query is a subset of [n])", i)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// smallQuery is the length under which duplicate detection scans
+// quadratically instead of allocating a seen-bitmap.
+const smallQuery = 16
+
 func trueSum(x []int64, q []int) (int64, error) {
+	if err := ValidateQuery(len(x), q); err != nil {
+		return 0, err
+	}
 	var s int64
 	for _, i := range q {
-		if i < 0 || i >= len(x) {
-			return 0, fmt.Errorf("query: index %d outside dataset of size %d", i, len(x))
-		}
 		s += x[i]
 	}
 	return s, nil

@@ -159,3 +159,55 @@ func TestMaxError(t *testing.T) {
 		t.Errorf("expected budget error, got %v", err)
 	}
 }
+
+// TestDuplicateIndexRejected is the regression test for the duplicate-index
+// disagreement: trueSum used to count a repeated index twice while the
+// attacks' candidate evaluations collapsed it to one, so the attacker and
+// oracle disagreed on what the query meant. Duplicates are now rejected in
+// ValidateQuery — the one documented place query well-formedness lives —
+// so every built-in oracle fails the query instead of answering it.
+func TestDuplicateIndexRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := []int64{1, 0, 1, 1, 0}
+	dup := []int{0, 2, 0}
+	for _, o := range []Oracle{
+		&Exact{X: x},
+		&BoundedNoise{X: x, Alpha: 1, Rng: rng},
+		&Laplace{X: x, Eps: 1, Rng: rng},
+		&Budgeted{Inner: &Exact{X: x}, Limit: 100},
+	} {
+		if _, err := o.SubsetSum(dup); err == nil {
+			t.Errorf("%T: duplicate-index query should fail", o)
+		}
+		// The same oracle still answers the deduplicated query.
+		if _, err := o.SubsetSum([]int{0, 2}); err != nil {
+			t.Errorf("%T: valid query failed: %v", o, err)
+		}
+	}
+}
+
+func TestValidateQuery(t *testing.T) {
+	if err := ValidateQuery(5, []int{0, 4, 2}); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := ValidateQuery(5, nil); err != nil {
+		t.Errorf("empty query rejected: %v", err)
+	}
+	for _, bad := range [][]int{{5}, {-1}, {0, 0}, {1, 2, 3, 1}} {
+		if err := ValidateQuery(5, bad); err == nil {
+			t.Errorf("ValidateQuery(5, %v) should fail", bad)
+		}
+	}
+	// Exercise the large-query bitmap path (len > smallQuery).
+	big := make([]int, 0, 20)
+	for i := 0; i < 20; i++ {
+		big = append(big, i)
+	}
+	if err := ValidateQuery(25, big); err != nil {
+		t.Errorf("valid large query rejected: %v", err)
+	}
+	big[19] = 3 // duplicate
+	if err := ValidateQuery(25, big); err == nil {
+		t.Error("large duplicate query should fail")
+	}
+}

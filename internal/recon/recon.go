@@ -60,6 +60,14 @@ func Exhaustive(o query.Oracle, queries [][]int, alpha float64) ([]int64, error)
 	answers := make([]float64, len(queries))
 	masks := make([]uint32, len(queries))
 	for qi, q := range queries {
+		// The bitmask candidate evaluation below collapses a repeated index
+		// to one membership bit, while an oracle summing naively would count
+		// it twice — so the attacker enforces the same well-formedness
+		// contract the oracle does, and both sides reject such a query
+		// instead of silently disagreeing about what it means.
+		if err := query.ValidateQuery(n, q); err != nil {
+			return nil, fmt.Errorf("recon: %w", err)
+		}
 		a, err := o.SubsetSum(q)
 		if err != nil {
 			return nil, fmt.Errorf("recon: oracle failed: %w", err)
@@ -67,9 +75,6 @@ func Exhaustive(o query.Oracle, queries [][]int, alpha float64) ([]int64, error)
 		answers[qi] = a
 		var m uint32
 		for _, i := range q {
-			if i < 0 || i >= n {
-				return nil, fmt.Errorf("recon: query index %d out of range", i)
-			}
 			m |= 1 << uint(i)
 		}
 		masks[qi] = m
@@ -134,6 +139,12 @@ func LPDecode(o query.Oracle, queries [][]int, objective LPObjective) ([]int64, 
 	mLPDecodes.Add(1)
 	answers := make([]float64, m)
 	for qi, q := range queries {
+		// Same well-formedness contract as Exhaustive: the constraint rows
+		// below assign one coefficient per index, collapsing duplicates an
+		// oracle might have counted twice.
+		if err := query.ValidateQuery(n, q); err != nil {
+			return nil, nil, fmt.Errorf("recon: %w", err)
+		}
 		a, err := o.SubsetSum(q)
 		if err != nil {
 			return nil, nil, fmt.Errorf("recon: oracle failed: %w", err)

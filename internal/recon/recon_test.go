@@ -3,6 +3,7 @@ package recon
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"singlingout/internal/query"
@@ -203,5 +204,30 @@ func TestLPDecodeAgainstLaplaceOracle(t *testing.T) {
 	}
 	if e := HammingError(x, got); e > 0.10 {
 		t.Errorf("high-eps Laplace reconstruction error = %v", e)
+	}
+}
+
+// TestDuplicateIndexQueryConsistency is the regression test for the
+// attacker/oracle disagreement on duplicated query indices: the oracle's
+// trueSum counted index 0 twice in {0,0,1} while Exhaustive's bitmask (and
+// LPDecode's coefficient rows) collapsed it to one — the two sides
+// answered different questions. Both paths now reject the query, and with
+// the same verdict: it is not a subset of [n].
+func TestDuplicateIndexQueryConsistency(t *testing.T) {
+	x := []int64{1, 1, 0, 1}
+	dup := [][]int{{0, 0, 1}}
+	// Oracle path rejects.
+	if _, err := (&query.Exact{X: x}).SubsetSum(dup[0]); err == nil {
+		t.Error("oracle should reject a duplicate-index query")
+	}
+	// Attacker paths reject the same query (before ever reaching an
+	// oracle that might have answered it with double-counting), and say
+	// why — the old behaviour was a misleading "no consistent candidate"
+	// from Exhaustive and a silently wrong reconstruction from LPDecode.
+	if _, err := Exhaustive(&lyingOracle{n: 4}, dup, 0); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Exhaustive should reject a duplicate-index query as such, got %v", err)
+	}
+	if _, _, err := LPDecode(&lyingOracle{n: 4}, dup, L1Slack); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("LPDecode should reject a duplicate-index query as such, got %v", err)
 	}
 }

@@ -24,7 +24,7 @@ func TestPipelineCensusAttack(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := census.DefaultConfig()
-	results, sum, err := census.Reconstruct(pop, cfg, 300000)
+	results, sum, err := census.Reconstruct(pop, cfg, 300000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
