@@ -1,15 +1,19 @@
 # Standard entry points for the singlingout reproduction.
 #
-#   make ci       gofmt + vet + build + tests (race on the concurrency-
-#                 sensitive packages) + a quick instrumented repro run
-#   make bench    the root benchmark suite with work counters
-#   make repro    full-size experiment tables (what EXPERIMENTS.md archives)
+#   make ci        gofmt + vet + build + tests (race on the concurrency-
+#                  sensitive packages, including internal/obs/serve) + a
+#                  quick instrumented repro run + the bench regression gate
+#   make bench     quick instrumented repro run producing BENCH_<rev>.json
+#   make benchgate benchdiff against the committed BENCH_baseline.json
+#   make gobench   the root go test -bench suite with work counters
+#   make repro     full-size experiment tables (what EXPERIMENTS.md archives)
 
 GO ?= go
+rev := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 
-.PHONY: ci fmt vet build test race repro-quick bench repro clean
+.PHONY: ci fmt vet build test race repro-quick bench benchgate gobench repro clean
 
-ci: fmt vet build race test repro-quick
+ci: fmt vet build race test benchgate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -23,6 +27,8 @@ vet:
 build:
 	$(GO) build ./...
 
+# ./internal/obs/... covers internal/obs/serve, whose SSE/scrape handlers
+# run concurrently with the instrumented experiments.
 race:
 	$(GO) test -race ./internal/par/... ./internal/pso/... ./internal/obs/... ./internal/query/... ./internal/census/...
 
@@ -34,11 +40,25 @@ test:
 repro-quick:
 	$(GO) run ./cmd/repro -quick -metrics /tmp/singlingout-run.jsonl
 
+# Produce a bench summary for the current revision in the repo root.
+# Refresh the committed gate baseline with:
+#   make bench && cp BENCH_$(rev).json BENCH_baseline.json
 bench:
+	$(GO) run ./cmd/repro -quick -metrics /tmp/singlingout-bench.jsonl
+	cp /tmp/BENCH_$(rev).json BENCH_$(rev).json
+	@echo "wrote BENCH_$(rev).json"
+
+# Gate: fail if any quick-mode experiment regressed more than 50% in
+# wall clock against the committed baseline (experiments faster than
+# 0.25s in the baseline are skipped as timing noise).
+benchgate: repro-quick
+	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 BENCH_baseline.json /tmp/BENCH_$(rev).json
+
+gobench:
 	$(GO) test -bench=. -benchmem .
 
 repro:
 	$(GO) run ./cmd/repro
 
 clean:
-	rm -f /tmp/singlingout-run.jsonl
+	rm -f /tmp/singlingout-run.jsonl /tmp/singlingout-bench.jsonl /tmp/BENCH_*.json

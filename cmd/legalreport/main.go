@@ -7,39 +7,78 @@
 // Usage:
 //
 //	legalreport [-seed 1] [-full]
+//	            [-metrics out.jsonl] [-serve :8088] [-spans out.trace.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//
+// -metrics records a JSONL run journal; -serve exposes the live
+// observability HTTP endpoint (Prometheus /metrics, /snapshot, /healthz,
+// SSE /journal, /debug/pprof/) while the claims are gathered; -spans
+// exports the worker pool's Chrome trace-event timeline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"singlingout/internal/experiments"
 	"singlingout/internal/legal"
 	"singlingout/internal/obs"
+	"singlingout/internal/obs/serve"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
-	prof := obs.AddProfileFlags(flag.CommandLine)
+	tool := serve.AddToolFlags(flag.CommandLine, "legalreport")
 	flag.Parse()
 
-	stopProf, err := prof.Start()
-	if err != nil {
+	if err := tool.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopProf()
+	status := run(tool, *seed, *full)
+	if err := tool.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
+		if status == 0 {
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
 
-	claims, comparison, err := experiments.LegalClaims(*seed, !*full)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
-		os.Exit(1)
+func run(tool *serve.Tool, seed int64, full bool) int {
+	tool.Emit(obs.Event{Phase: "run_start", Seed: seed, Quick: !full})
+	tool.SetPhase("claims")
+	start := time.Now()
+	claims, comparison, err := experiments.LegalClaims(seed, !full)
+	ev := obs.Event{
+		Phase:   "experiment",
+		ID:      "legalreport.claims",
+		Seed:    seed,
+		Quick:   !full,
+		Seconds: time.Since(start).Seconds(),
 	}
+	if err != nil {
+		ev.Error = err.Error()
+		tool.Emit(ev)
+		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
+		return 1
+	}
+	ev.Sizes = map[string]int{"claims": len(claims)}
+	tool.Emit(ev)
 	if err := legal.Report(os.Stdout, claims, comparison); err != nil {
 		fmt.Fprintf(os.Stderr, "legalreport: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	tool.Emit(obs.Event{
+		Phase:   "run_end",
+		Seed:    seed,
+		Quick:   !full,
+		Seconds: time.Since(start).Seconds(),
+		Sizes:   map[string]int{"claims": len(claims)},
+	})
+	tool.SetPhase("done")
+	return 0
 }

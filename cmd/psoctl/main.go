@@ -4,12 +4,18 @@
 // Usage:
 //
 //	psoctl [-id E08] [-seed 1] [-full] [-list] [-stats]
+//	       [-metrics out.jsonl] [-serve :8088] [-spans out.trace.json]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // Without -id it runs every PSO experiment; -full uses the publication
 // sizes recorded in EXPERIMENTS.md instead of the quick CI sizes. -stats
 // appends an obs metrics footer (trials, isolations, count queries, ...)
 // to every table.
+//
+// -metrics records a JSONL run journal (one event per experiment); -serve
+// exposes the live observability HTTP endpoint (Prometheus /metrics,
+// /snapshot, /healthz, SSE /journal, /debug/pprof/) while the suite runs;
+// -spans exports the worker pool's Chrome trace-event timeline.
 package main
 
 import (
@@ -17,9 +23,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
+	"singlingout/internal/obs/serve"
 )
 
 var psoIDs = []string{"E04", "E05", "E06", "E07", "E08", "E09", "E10", "E15", "E16", "A02", "A03"}
@@ -30,15 +38,8 @@ func main() {
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
 	list := flag.Bool("list", false, "list the experiments in the PSO suite")
 	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
-	prof := obs.AddProfileFlags(flag.CommandLine)
+	tool := serve.AddToolFlags(flag.CommandLine, "psoctl")
 	flag.Parse()
-
-	stopProf, err := prof.Start()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
-		os.Exit(1)
-	}
-	defer stopProf()
 
 	if *list {
 		for _, eid := range psoIDs {
@@ -47,30 +48,83 @@ func main() {
 		}
 		return
 	}
-	ids := psoIDs
-	if *id != "" {
-		ids = []string{strings.ToUpper(*id)}
+
+	if err := tool.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
+		os.Exit(1)
 	}
+	status := run(tool, *id, *seed, *full, *stats)
+	if err := tool.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
+		if status == 0 {
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
+
+func run(tool *serve.Tool, id string, seed int64, full, stats bool) int {
+	ids := psoIDs
+	if id != "" {
+		ids = []string{strings.ToUpper(id)}
+	}
+	tool.Emit(obs.Event{
+		Phase: "run_start",
+		Seed:  seed,
+		Quick: !full,
+		Sizes: map[string]int{"experiments": len(ids)},
+	})
+	runStart := time.Now()
 	for _, eid := range ids {
 		r, ok := experiments.ByID(eid)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "psoctl: unknown experiment %q (try -list)\n", eid)
-			os.Exit(1)
+			return 1
 		}
+		tool.SetPhase(eid)
+		start := time.Now()
 		var tab *experiments.Table
+		var delta obs.Snapshot
 		var err error
-		if *stats {
-			tab, _, err = r.RunInstrumented(*seed, !*full)
+		if stats || tool.Observing() {
+			tab, delta, err = r.RunInstrumented(seed, !full)
 		} else {
-			tab, err = r.Run(*seed, !*full)
+			tab, err = r.Run(seed, !full)
+		}
+		ev := obs.Event{
+			Phase:   "experiment",
+			ID:      eid,
+			Seed:    seed,
+			Quick:   !full,
+			Seconds: time.Since(start).Seconds(),
+		}
+		if !delta.Empty() {
+			ev.Metrics = &delta
 		}
 		if err != nil {
+			ev.Error = err.Error()
+			tool.Emit(ev)
 			fmt.Fprintf(os.Stderr, "psoctl: %s: %v\n", eid, err)
-			os.Exit(1)
+			return 1
+		}
+		tool.Emit(ev)
+		if !stats {
+			// The metrics footer stays opt-in via -stats even when a
+			// journal forced the instrumented path.
+			tab.Metrics = obs.Snapshot{}
 		}
 		if err := tab.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	tool.Emit(obs.Event{
+		Phase:   "run_end",
+		Seed:    seed,
+		Quick:   !full,
+		Seconds: time.Since(runStart).Seconds(),
+		Sizes:   map[string]int{"experiments": len(ids)},
+	})
+	tool.SetPhase("done")
+	return 0
 }

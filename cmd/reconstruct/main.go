@@ -6,10 +6,16 @@
 // Usage:
 //
 //	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full] [-stats]
-//	            [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
+//	            [-workers N] [-metrics out.jsonl] [-serve :8088] [-spans out.trace.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -stats appends an obs metrics footer (oracle queries, simplex pivots,
 // SAT conflicts, ...) to every table.
+//
+// -metrics records a JSONL run journal (one event per attack); -serve
+// exposes the live observability HTTP endpoint (Prometheus /metrics,
+// /snapshot, /healthz, SSE /journal, /debug/pprof/) while the attacks run;
+// -spans exports the worker pool's Chrome trace-event timeline.
 //
 // -workers sizes the worker pool the parallel harnesses fan out on
 // (0 = GOMAXPROCS). Per-item randomness derives from (seed, item index),
@@ -20,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
+	"singlingout/internal/obs/serve"
 )
 
 func main() {
@@ -31,17 +39,25 @@ func main() {
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
 	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel attacks (0 = GOMAXPROCS); output is identical at any value")
-	prof := obs.AddProfileFlags(flag.CommandLine)
+	tool := serve.AddToolFlags(flag.CommandLine, "reconstruct")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
 
-	stopProf, err := prof.Start()
-	if err != nil {
+	if err := tool.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopProf()
+	status := run(tool, *attack, *seed, *full, *stats)
+	if err := tool.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		if status == 0 {
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
 
+func run(tool *serve.Tool, attack string, seed int64, full, stats bool) int {
 	byName := map[string][]string{
 		"exhaustive": {"E01"},
 		"lp":         {"E02", "A01"},
@@ -49,27 +65,64 @@ func main() {
 		"diffix":     {"E13"},
 		"all":        {"E01", "E02", "A01", "E11", "E13"},
 	}
-	ids, ok := byName[*attack]
+	ids, ok := byName[attack]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "reconstruct: unknown attack %q\n", *attack)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "reconstruct: unknown attack %q\n", attack)
+		return 1
 	}
+	tool.Emit(obs.Event{
+		Phase: "run_start",
+		Seed:  seed,
+		Quick: !full,
+		Sizes: map[string]int{"experiments": len(ids)},
+	})
+	runStart := time.Now()
 	for _, id := range ids {
+		tool.SetPhase(id)
 		r, _ := experiments.ByID(id)
+		start := time.Now()
 		var tab *experiments.Table
+		var delta obs.Snapshot
 		var err error
-		if *stats {
-			tab, _, err = r.RunInstrumented(*seed, !*full)
+		if stats || tool.Observing() {
+			tab, delta, err = r.RunInstrumented(seed, !full)
 		} else {
-			tab, err = r.Run(*seed, !*full)
+			tab, err = r.Run(seed, !full)
+		}
+		ev := obs.Event{
+			Phase:   "experiment",
+			ID:      id,
+			Seed:    seed,
+			Quick:   !full,
+			Seconds: time.Since(start).Seconds(),
+		}
+		if !delta.Empty() {
+			ev.Metrics = &delta
 		}
 		if err != nil {
+			ev.Error = err.Error()
+			tool.Emit(ev)
 			fmt.Fprintf(os.Stderr, "reconstruct: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
+		}
+		tool.Emit(ev)
+		if !stats {
+			// The metrics footer stays opt-in via -stats even when a
+			// journal forced the instrumented path.
+			tab.Metrics = obs.Snapshot{}
 		}
 		if err := tab.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	tool.Emit(obs.Event{
+		Phase:   "run_end",
+		Seed:    seed,
+		Quick:   !full,
+		Seconds: time.Since(runStart).Seconds(),
+		Sizes:   map[string]int{"experiments": len(ids)},
+	})
+	tool.SetPhase("done")
+	return 0
 }

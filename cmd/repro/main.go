@@ -7,9 +7,17 @@
 // queries, simplex pivots, SAT conflicts, ...) — and writes a
 // machine-readable BENCH_<rev>.json summary next to the journal.
 //
+// With -serve the same observability is live: an HTTP endpoint exposes
+// Prometheus /metrics, the JSON /snapshot, /healthz (current experiment
+// phase + uptime), an SSE /journal tail and the stdlib /debug/pprof/
+// handlers while the run executes. With -spans the worker pool's per-item
+// spans are exported as a Chrome trace-event JSON timeline (one lane per
+// pool worker; load it at ui.perfetto.dev).
+//
 // Usage:
 //
 //	repro [-seed 1] [-quick] [-id E02] [-workers N] [-metrics out.jsonl]
+//	      [-serve :8088] [-spans out.trace.json]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -workers sizes the worker pool the parallel harnesses (E01, E02, E11,
@@ -35,6 +43,7 @@ import (
 	"singlingout/internal/census"
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
+	"singlingout/internal/obs/serve"
 	"singlingout/internal/synth"
 )
 
@@ -94,79 +103,66 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "CI-size runs instead of publication sizes")
 	id := flag.String("id", "", "run a single experiment id")
-	metrics := flag.String("metrics", "", "write a JSONL run journal (and BENCH_<rev>.json beside it)")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel harnesses (0 = GOMAXPROCS); output is identical at any value")
-	prof := obs.AddProfileFlags(flag.CommandLine)
+	tool := serve.AddToolFlags(flag.CommandLine, "repro")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
 
-	stopProf, err := prof.Start()
-	if err != nil {
+	if err := tool.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}
-	defer stopProf()
+	status := run(tool, *seed, *quick, *id)
+	// Close flushes profiles, the span timeline and the journal; losing any
+	// of them is a failure even when the experiments succeeded.
+	if err := tool.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		if status == 0 {
+			status = 1
+		}
+	}
+	os.Exit(status)
+}
 
+func run(tool *serve.Tool, seed int64, quick bool, id string) int {
 	runners := experiments.All()
-	if *id != "" {
-		r, ok := experiments.ByID(*id)
+	if id != "" {
+		r, ok := experiments.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *id)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", id)
+			return 1
 		}
 		runners = []experiments.Runner{r}
 	}
 
-	var journal *obs.Journal
-	if *metrics != "" {
-		f, err := os.Create(*metrics)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		journal = obs.NewJournal(f)
-		obs.Default().SetEnabled(true)
-		if err := journal.Emit(obs.Event{
-			Phase: "run_start",
-			Seed:  *seed,
-			Quick: *quick,
-			Sizes: map[string]int{"experiments": len(runners)},
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	emit := func(e obs.Event) {
-		if journal == nil {
-			return
-		}
-		if err := journal.Emit(e); err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		}
-	}
+	tool.Emit(obs.Event{
+		Phase: "run_start",
+		Seed:  seed,
+		Quick: quick,
+		Sizes: map[string]int{"experiments": len(runners)},
+	})
 
 	// Attempt every experiment, collecting failures instead of aborting on
 	// the first: a broken harness must not mask results from the others.
 	var failures []string
 	runStart := time.Now()
 	for _, r := range runners {
+		tool.SetPhase(r.ID)
 		start := time.Now()
 		var tab *experiments.Table
 		var delta obs.Snapshot
 		var err error
-		if journal != nil {
-			tab, delta, err = r.RunInstrumented(*seed, *quick)
+		if tool.Observing() {
+			tab, delta, err = r.RunInstrumented(seed, quick)
 		} else {
-			tab, err = r.Run(*seed, *quick)
+			tab, err = r.Run(seed, quick)
 		}
 		elapsed := time.Since(start)
 		ev := obs.Event{
 			Phase:   "experiment",
 			ID:      r.ID,
-			Seed:    *seed,
-			Quick:   *quick,
+			Seed:    seed,
+			Quick:   quick,
 			Seconds: elapsed.Seconds(),
 		}
 		if !delta.Empty() {
@@ -176,35 +172,37 @@ func main() {
 			failures = append(failures, fmt.Sprintf("%s: %v", r.ID, err))
 			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", r.ID, err)
 			ev.Error = err.Error()
-			emit(ev)
+			tool.Emit(ev)
 			continue
 		}
 		ev.Sizes = map[string]int{"rows": len(tab.Rows)}
-		emit(ev)
+		tool.Emit(ev)
 		if err := tab.Fprint(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("  [%s completed in %s]\n\n", r.ID, elapsed.Round(time.Millisecond))
 	}
-	if journal != nil {
-		if err := benchCensusProbe(emit, *seed); err != nil {
+	if tool.Observing() {
+		tool.SetPhase("bench_probe")
+		if err := benchCensusProbe(tool.Emit, seed); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: bench probe: %v\n", err)
 		}
 	}
-	emit(obs.Event{
+	tool.Emit(obs.Event{
 		Phase:   "run_end",
-		Seed:    *seed,
-		Quick:   *quick,
+		Seed:    seed,
+		Quick:   quick,
 		Seconds: time.Since(runStart).Seconds(),
 		Sizes:   map[string]int{"experiments": len(runners), "failures": len(failures)},
 	})
+	tool.SetPhase("done")
 
-	if journal != nil {
-		if path, err := writeBench(*metrics); err != nil {
+	if path := tool.MetricsPath(); path != "" {
+		if benchPath, err := writeBench(path); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		} else {
-			fmt.Printf("  [journal %s, summary %s]\n", *metrics, path)
+			fmt.Printf("  [journal %s, summary %s]\n", path, benchPath)
 		}
 	}
 
@@ -213,6 +211,7 @@ func main() {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchPair() (BenchSummary, BenchSummary) {
+	base := BenchSummary{
+		Rev: "aaaaaaaaaaaa", Seed: 1, Quick: true, TotalSeconds: 3.0,
+		Experiments: []BenchEntry{
+			{ID: "E01", Seconds: 1.0, Counters: map[string]int64{"query.count": 1000, "sat.conflicts": 5}},
+			{ID: "E02", Seconds: 1.5, Counters: map[string]int64{"lp.pivots": 900}},
+			{ID: "E11", Seconds: 0.5},
+			{ID: "BENCH.census.workers=8", Seconds: 0.2},
+			{ID: "E90", Seconds: 0.01},
+		},
+	}
+	cur := BenchSummary{
+		Rev: "bbbbbbbbbbbb", Seed: 1, Quick: true, TotalSeconds: 3.9,
+		Experiments: []BenchEntry{
+			{ID: "E01", Seconds: 1.0, Counters: map[string]int64{"query.count": 1000, "sat.conflicts": 5}},
+			{ID: "E02", Seconds: 2.4, Counters: map[string]int64{"lp.pivots": 1800}}, // +60% regression
+			{ID: "E11", Seconds: 0.5, Error: "boom"},
+			{ID: "BENCH.census.workers=16", Seconds: 0.1}, // probe renamed on a bigger host
+			{ID: "E90", Seconds: 0.02},                    // +100% but under the seconds floor
+		},
+	}
+	return base, cur
+}
+
+func TestDiffBenchRows(t *testing.T) {
+	base, cur := benchPair()
+	diff := DiffBench(base, cur)
+	byID := map[string]BenchDelta{}
+	for _, d := range diff.Rows {
+		byID[d.ID] = d
+	}
+	if len(diff.Rows) != 6 { // 5 base rows + 1 new-only probe row
+		t.Fatalf("rows = %d, want 6", len(diff.Rows))
+	}
+	if d := byID["E01"]; !d.InBase || !d.InNew || d.SecondsPct() != 0 || len(d.Counters) != 0 {
+		t.Errorf("unchanged E01 delta = %+v", d)
+	}
+	d := byID["E02"]
+	if got := d.SecondsPct(); got < 59.9 || got > 60.1 {
+		t.Errorf("E02 pct = %v, want ~60", got)
+	}
+	if len(d.Counters) != 1 || d.Counters[0] != (CounterDelta{Name: "lp.pivots", Base: 900, New: 1800}) {
+		t.Errorf("E02 counters = %+v", d.Counters)
+	}
+	if d := byID["BENCH.census.workers=8"]; !d.InBase || d.InNew {
+		t.Errorf("renamed probe base row = %+v", d)
+	}
+	if d := byID["BENCH.census.workers=16"]; d.InBase || !d.InNew {
+		t.Errorf("renamed probe new row = %+v", d)
+	}
+}
+
+func TestBenchDiffFprint(t *testing.T) {
+	base, cur := benchPair()
+	var b strings.Builder
+	if err := DiffBench(base, cur).Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"aaaaaaaaaaaa", "bbbbbbbbbbbb",
+		"E02", "+60.0%",
+		"lp.pivots", "900 -> 1800",
+		"TOTAL", "+30.0%",
+		"gone", "new",
+		`new err="boom"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchDiffGate pins the regression gate: an injected +60% wall-clock
+// regression and a new error both trip it; renamed probe rows, sub-floor
+// experiments and unchanged experiments do not.
+func TestBenchDiffGate(t *testing.T) {
+	base, cur := benchPair()
+	diff := DiffBench(base, cur)
+
+	violations := diff.Regressions(50, 0.05)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want 2 (E02 regression + E11 error)", violations)
+	}
+	joined := strings.Join(violations, "\n")
+	if !strings.Contains(joined, "E02") || !strings.Contains(joined, "exceeds +50.0%") {
+		t.Errorf("E02 regression not reported: %v", violations)
+	}
+	if !strings.Contains(joined, "E11") || !strings.Contains(joined, "boom") {
+		t.Errorf("E11 error not reported: %v", violations)
+	}
+	for _, banned := range []string{"E90", "BENCH.census"} {
+		if strings.Contains(joined, banned) {
+			t.Errorf("%s must not trip the gate: %v", banned, violations)
+		}
+	}
+
+	// A permissive threshold only reports the error regression.
+	if v := diff.Regressions(100, 0.05); len(v) != 1 || !strings.Contains(v[0], "E11") {
+		t.Errorf("gate at 100%% = %v, want only the E11 error", v)
+	}
+	// Raising the floor above E02's baseline silences its regression too.
+	if v := diff.Regressions(50, 2.0); len(v) != 1 {
+		t.Errorf("gate with 2s floor = %v, want only the E11 error", v)
+	}
+}
+
+func TestReadBenchFileRoundTrip(t *testing.T) {
+	base, _ := benchPair()
+	dir := t.TempDir()
+	path, err := base.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != base.Rev || len(got.Experiments) != len(base.Experiments) {
+		t.Errorf("round trip mangled summary: %+v", got)
+	}
+	if got.Experiments[0].Counters["query.count"] != 1000 {
+		t.Errorf("counters lost: %+v", got.Experiments[0])
+	}
+	if _, err := ReadBenchFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}

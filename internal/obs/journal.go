@@ -35,17 +35,28 @@ type Event struct {
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
 
-// Journal writes Events as JSON lines. Safe for concurrent use.
+// journalRing is how many recent events a journal retains for subscriber
+// replay (the SSE /journal tail).
+const journalRing = 256
+
+// Journal writes Events as JSON lines and fans them out to live
+// subscribers (the serve package's SSE /journal endpoint). Safe for
+// concurrent use.
 type Journal struct {
 	mu     sync.Mutex
 	w      io.Writer
 	events int
+	recent []Event // last journalRing events, for subscriber replay
+	subs   map[int]chan Event
+	nextID int
 }
 
 // NewJournal returns a journal writing to w.
 func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
 
-// Emit writes one event as a single JSON line, stamping Time if unset.
+// Emit writes one event as a single JSON line, stamping Time if unset, and
+// broadcasts it to subscribers (dropping it for any subscriber whose
+// buffer is full — a slow tail reader never blocks the run).
 func (j *Journal) Emit(e Event) error {
 	if e.Time == "" {
 		e.Time = time.Now().UTC().Format(time.RFC3339Nano)
@@ -60,7 +71,48 @@ func (j *Journal) Emit(e Event) error {
 		return fmt.Errorf("obs: journal write: %w", err)
 	}
 	j.events++
+	j.recent = append(j.recent, e)
+	if len(j.recent) > journalRing {
+		j.recent = j.recent[len(j.recent)-journalRing:]
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
 	return nil
+}
+
+// Subscribe registers a live tail: it returns the retained recent events
+// (replay) and a channel carrying every event emitted from now on, with no
+// gap or overlap between the two. The channel buffers buf events; when the
+// subscriber falls behind, newer events are dropped for it rather than
+// blocking Emit. cancel unregisters the subscriber and closes the channel.
+func (j *Journal) Subscribe(buf int) (replay []Event, ch <-chan Event, cancel func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	c := make(chan Event, buf)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append(replay, j.recent...)
+	if j.subs == nil {
+		j.subs = map[int]chan Event{}
+	}
+	id := j.nextID
+	j.nextID++
+	j.subs[id] = c
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			j.mu.Lock()
+			delete(j.subs, id)
+			j.mu.Unlock()
+			close(c)
+		})
+	}
+	return replay, c, cancel
 }
 
 // Events returns the number of events emitted so far.

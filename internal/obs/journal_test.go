@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestJournalRoundTrip(t *testing.T) {
@@ -132,5 +134,54 @@ func TestGitRev(t *testing.T) {
 	// No repository at all.
 	if got := GitRev(filepath.Join(os.TempDir(), "definitely", "not", "a", "repo")); got != "unknown" {
 		t.Errorf("no-repo rev = %q", got)
+	}
+}
+
+// TestJournalSubscribe pins the live-tail contract serve's SSE endpoint
+// relies on: replay of retained events, gap-free handoff to the live
+// channel, non-blocking drops for slow subscribers, and a close-once
+// cancel that survives later emits.
+func TestJournalSubscribe(t *testing.T) {
+	j := NewJournal(io.Discard)
+	if err := j.Emit(Event{Phase: "run_start", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	replay, ch, cancel := j.Subscribe(4)
+	if len(replay) != 1 || replay[0].Phase != "run_start" {
+		t.Fatalf("replay = %+v", replay)
+	}
+	if err := j.Emit(Event{Phase: "experiment", ID: "E05"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-ch:
+		if e.ID != "E05" {
+			t.Errorf("live event = %+v", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("live event never arrived")
+	}
+
+	// A full subscriber buffer drops events rather than blocking Emit.
+	_, slow, cancelSlow := j.Subscribe(1)
+	for i := 0; i < 5; i++ {
+		if err := j.Emit(Event{Phase: "experiment", ID: "flood"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(slow); got != 1 {
+		t.Errorf("slow subscriber buffered %d events, want 1 (rest dropped)", got)
+	}
+	cancelSlow()
+
+	cancel()
+	cancel() // idempotent
+	// Drain anything buffered before cancel; the channel must end closed
+	// (this loop would hang forever otherwise).
+	for range ch {
+	}
+	if err := j.Emit(Event{Phase: "run_end"}); err != nil {
+		t.Fatal(err) // must not panic on the closed channel
 	}
 }

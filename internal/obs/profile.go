@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -14,7 +15,13 @@ import (
 //
 //	stop, err := prof.Start()
 //	if err != nil { ... }
-//	defer stop()
+//	defer func() {
+//		if err := stop(); err != nil { ... }
+//	}()
+//
+// The stop function flushes every profile and returns the joined errors of
+// any writes that failed (a heap profile that cannot be written, a profile
+// file that fails to close) — profile loss is surfaced, not just printed.
 type Profiler struct {
 	cpu, mem, traceOut *string
 
@@ -31,9 +38,11 @@ func AddProfileFlags(fs *flag.FlagSet) *Profiler {
 	return p
 }
 
-// Start begins the requested profiles. The returned stop function is safe
-// to call exactly once (typically via defer) and flushes every profile.
-func (p *Profiler) Start() (stop func(), err error) {
+// Start begins the requested profiles. When a later profile fails to start
+// (e.g. the trace file cannot be created), every profile already started
+// is stopped and its file closed before the error returns. The returned
+// stop function is safe to call exactly once (typically via defer).
+func (p *Profiler) Start() (stop func() error, err error) {
 	if *p.cpu != "" {
 		p.cpuFile, err = os.Create(*p.cpu)
 		if err != nil {
@@ -41,6 +50,7 @@ func (p *Profiler) Start() (stop func(), err error) {
 		}
 		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
 			p.cpuFile.Close()
+			p.cpuFile = nil
 			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
 		}
 	}
@@ -53,37 +63,59 @@ func (p *Profiler) Start() (stop func(), err error) {
 		if err := trace.Start(p.traceFile); err != nil {
 			p.stopCPU()
 			p.traceFile.Close()
+			p.traceFile = nil
 			return nil, fmt.Errorf("obs: trace: %w", err)
 		}
 	}
 	return p.stop, nil
 }
 
-func (p *Profiler) stopCPU() {
-	if p.cpuFile != nil {
-		pprof.StopCPUProfile()
-		p.cpuFile.Close()
-		p.cpuFile = nil
+func (p *Profiler) stopCPU() error {
+	if p.cpuFile == nil {
+		return nil
 	}
+	pprof.StopCPUProfile()
+	err := p.cpuFile.Close()
+	p.cpuFile = nil
+	if err != nil {
+		return fmt.Errorf("obs: cpuprofile: %w", err)
+	}
+	return nil
 }
 
-func (p *Profiler) stop() {
-	p.stopCPU()
+func (p *Profiler) stop() error {
+	var errs []error
+	if err := p.stopCPU(); err != nil {
+		errs = append(errs, err)
+	}
 	if p.traceFile != nil {
 		trace.Stop()
-		p.traceFile.Close()
+		if err := p.traceFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: trace: %w", err))
+		}
 		p.traceFile = nil
 	}
 	if *p.mem != "" {
-		f, err := os.Create(*p.mem)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "obs: memprofile: %v\n", err)
-			return
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "obs: memprofile: %v\n", err)
+		if err := p.writeHeapProfile(); err != nil {
+			errs = append(errs, err)
 		}
 	}
+	return errors.Join(errs...)
+}
+
+func (p *Profiler) writeHeapProfile() error {
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		return fmt.Errorf("obs: memprofile: %w", err)
+	}
+	runtime.GC()
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("obs: memprofile: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("obs: memprofile: %w", cerr)
+	}
+	return nil
 }

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// newProfiler builds a Profiler from command-line-style args.
+func newProfiler(t *testing.T, args ...string) *Profiler {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	p := AddProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfilerSuccessPath(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p := newProfiler(t, "-cpuprofile", cpu, "-memprofile", mem)
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", path, err)
+		}
+	}
+}
+
+// TestProfilerPartialFailureStopsCPUProfile pins the cleanup contract:
+// when the trace file cannot be created after the CPU profile has started,
+// Start must stop and close the CPU profile before returning the error —
+// observable because a fresh CPU profile can then be started.
+func TestProfilerPartialFailureStopsCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	p := newProfiler(t,
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-trace", filepath.Join(dir, "missing-subdir", "trace.out"))
+	if _, err := p.Start(); err == nil {
+		t.Fatal("Start must fail when the trace file cannot be created")
+	} else if !strings.Contains(err.Error(), "trace") {
+		t.Errorf("error %q does not name the trace stage", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu2.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatalf("CPU profile left running after failed Start: %v", err)
+	}
+	pprof.StopCPUProfile()
+}
+
+// TestProfilerStopSurfacesHeapWriteError: heap-profile write failures were
+// previously only printed to stderr; they must now surface as an error
+// from the stop function.
+func TestProfilerStopSurfacesHeapWriteError(t *testing.T) {
+	dir := t.TempDir()
+	p := newProfiler(t, "-memprofile", filepath.Join(dir, "missing-subdir", "mem.pprof"))
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop must surface the heap-profile write error")
+	} else if !strings.Contains(err.Error(), "memprofile") {
+		t.Errorf("error %q does not name the memprofile stage", err)
+	}
+}
+
+func TestProfilerNoFlagsIsNoop(t *testing.T) {
+	p := newProfiler(t)
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop returned %v", err)
+	}
+}

@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"singlingout/internal/obs"
+)
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// parsePrometheus is a strict mini-parser for the text exposition format:
+// every line must be a well-formed HELP/TYPE comment or a `name value`
+// sample with a valid identifier and a parseable float. It returns the
+// samples and fails the test on any malformed line.
+func parsePrometheus(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if !promNameRe.MatchString(fields[2]) {
+				t.Fatalf("invalid metric name in %q", line)
+			}
+			if fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					t.Fatalf("invalid TYPE in %q", line)
+				}
+				if _, dup := types[fields[2]]; dup {
+					t.Fatalf("duplicate TYPE for %s", fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if !promNameRe.MatchString(fields[0]) {
+			t.Fatalf("invalid sample name %q", fields[0])
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if _, dup := samples[fields[0]]; dup {
+			t.Fatalf("duplicate sample %q", fields[0])
+		}
+		samples[fields[0]] = v
+	}
+	return samples
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"census.workers":   "census_workers",
+		"query.latency_ns": "query_latency_ns",
+		"par.items":        "par_items",
+		"9lives":           "_9lives",
+		"ok_name":          "ok_name",
+		"":                 "_",
+		"a-b c":            "a_b_c",
+	} {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsEndpointPrometheusFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("query.count").Add(12345)
+	reg.Gauge("census.workers").Set(8)
+	reg.Gauge("census.exact_fraction").Set(0.8125)
+	for _, v := range []int64{10, 20, 30} {
+		reg.Histogram("par.item_ns").Observe(v)
+	}
+
+	srv := httptest.NewServer(New(reg, nil).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+
+	samples := parsePrometheus(t, string(body))
+	want := map[string]float64{
+		"query_count":           12345,
+		"census_workers":        8,
+		"census_exact_fraction": 0.8125,
+		"par_item_ns_count":     3,
+		"par_item_ns_sum":       60,
+		"par_item_ns_min":       10,
+		"par_item_ns_max":       30,
+		"par_item_ns_mean":      20,
+	}
+	for name, v := range want {
+		if samples[name] != v {
+			t.Errorf("sample %s = %v, want %v", name, samples[name], v)
+		}
+	}
+	// Sample lines must carry only sanitized identifiers (the original
+	// dotted name may appear in HELP text); parsePrometheus enforces this,
+	// so just pin that no dotted name leaked as a sample.
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "census.") || strings.HasPrefix(line, "query.") || strings.HasPrefix(line, "par.") {
+			t.Errorf("dotted metric name leaked into sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshotAndHealthzEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	reg.Counter("lp.pivots").Add(77)
+	journal := obs.NewJournal(io.Discard)
+	journal.Emit(obs.Event{Phase: "run_start", Seed: 9}) //nolint:errcheck
+
+	s := New(reg, journal)
+	s.SetPhase("E02")
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["lp.pivots"] != 77 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Phase != "E02" || h.UptimeSeconds < 0 || h.JournalEvents != 1 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+// readSSEEvents reads SSE frames off the stream until n journal events
+// arrived or the deadline passes.
+func readSSEEvents(t *testing.T, body io.Reader, n int) []obs.Event {
+	t.Helper()
+	var out []obs.Event
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("SSE data is not an Event: %v (%q)", err, line)
+		}
+		out = append(out, e)
+		if len(out) == n {
+			return out
+		}
+	}
+	t.Fatalf("SSE stream ended after %d of %d events: %v", len(out), n, sc.Err())
+	return nil
+}
+
+func TestJournalSSETail(t *testing.T) {
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(io.Discard)
+	journal.Emit(obs.Event{Phase: "run_start", Seed: 4}) //nolint:errcheck
+
+	s := New(reg, journal)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/journal", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Emit live events after the stream is connected.
+	go func() {
+		for i := 0; i < 3; i++ {
+			journal.Emit(obs.Event{Phase: "experiment", ID: fmt.Sprintf("E%02d", i)}) //nolint:errcheck
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	events := readSSEEvents(t, resp.Body, 4)
+	if events[0].Phase != "run_start" || events[0].Seed != 4 {
+		t.Errorf("replay event = %+v", events[0])
+	}
+	for i, e := range events[1:] {
+		if e.Phase != "experiment" || e.ID != fmt.Sprintf("E%02d", i) {
+			t.Errorf("live event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestJournalEndpointWithoutJournal(t *testing.T) {
+	srv := httptest.NewServer(New(obs.NewRegistry(), nil).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	srv := httptest.NewServer(New(obs.NewRegistry(), nil).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "heap profile") {
+		t.Errorf("pprof heap endpoint: status %d, body %.80q", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentScrapeDuringRun is the -race acceptance test: endpoints
+// are scraped continuously while a simulated run hammers the registry,
+// the journal, and the default tracer from many goroutines.
+func TestConcurrentScrapeDuringRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	journal := obs.NewJournal(io.Discard)
+	s := New(reg, journal)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter("query.count").Add(1)
+				reg.Gauge("census.workers").Set(float64(w))
+				reg.Histogram("query.latency_ns").Observe(int64(i % 1000))
+				if i%50 == 0 {
+					journal.Emit(obs.Event{Phase: "experiment", ID: "E01", Seed: int64(i)}) //nolint:errcheck
+					s.SetPhase(fmt.Sprintf("worker%d", w))
+					// Yield so the scrape goroutines get CPU time even on a
+					// single-core host.
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 10; i++ {
+		for _, path := range []string{"/metrics", "/snapshot", "/healthz"} {
+			resp, err := client.Get("http://" + addr + path)
+			if err != nil {
+				t.Fatalf("scrape %s: %v", path, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("scrape %s: status %d", path, resp.StatusCode)
+			}
+			if path == "/metrics" {
+				parsePrometheus(t, string(body))
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestDeltaDropsUnchangedGauge: a gauge re-set to the same value between
+// snapshots carries no information and must be dropped from the delta
+// (only counters moving or gauges changing survive).
+func TestDeltaDropsUnchangedGauge(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Gauge("stable").Set(3.5)
+	r.Gauge("moving").Set(1)
+	before := r.Snapshot()
+
+	r.Gauge("stable").Set(3.5) // same value again
+	r.Gauge("moving").Set(2)
+	r.Counter("work").Add(1) // keep the delta non-empty overall
+	d := r.Snapshot().Delta(before)
+
+	if _, ok := d.Gauges["stable"]; ok {
+		t.Error("unchanged gauge must be dropped from the delta")
+	}
+	if d.Gauges["moving"] != 2 {
+		t.Errorf("moving gauge = %v, want 2", d.Gauges["moving"])
+	}
+}
+
+// TestDeltaZeroPrev: against the zero Snapshot, Delta keeps every non-zero
+// metric verbatim and drops zero-valued ones.
+func TestDeltaZeroPrev(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("hit").Add(7)
+	r.Counter("zero") // registered but never incremented
+	r.Gauge("g").Set(0.5)
+	r.Gauge("gzero").Set(0) // indistinguishable from never-set
+	r.Histogram("h").Observe(3)
+	r.Histogram("hempty") // registered, no observations
+
+	d := r.Snapshot().Delta(Snapshot{})
+	if d.Counters["hit"] != 7 {
+		t.Errorf("counter = %d, want 7", d.Counters["hit"])
+	}
+	if _, ok := d.Counters["zero"]; ok {
+		t.Error("zero counter must be dropped against a zero prev")
+	}
+	if d.Gauges["g"] != 0.5 {
+		t.Errorf("gauge = %v, want 0.5", d.Gauges["g"])
+	}
+	if _, ok := d.Gauges["gzero"]; ok {
+		t.Error("zero-valued gauge is indistinguishable from unset and must be dropped")
+	}
+	if h := d.Histograms["h"]; h.Count != 1 || h.Sum != 3 || h.Mean != 3 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if _, ok := d.Histograms["hempty"]; ok {
+		t.Error("observation-free histogram must be dropped")
+	}
+}
+
+// TestDeltaHistogramMinMaxNotInvertible pins the documented semantics:
+// histogram min/max cannot be subtracted, so a delta's Min/Max cover the
+// whole run up to the later snapshot — here the pre-snapshot observation
+// 100 still dominates the delta's Max even though only 5 was observed
+// inside the delta window.
+func TestDeltaHistogramMinMaxNotInvertible(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("lat")
+	h.Observe(100)
+	before := r.Snapshot()
+
+	h.Observe(5)
+	d := r.Snapshot().Delta(before)
+	dh := d.Histograms["lat"]
+	if dh.Count != 1 || dh.Sum != 5 || dh.Mean != 5 {
+		t.Errorf("delta count/sum/mean = %+v", dh)
+	}
+	if dh.Min != 5 || dh.Max != 100 {
+		t.Errorf("delta min/max = %d/%d, want run-wide 5/100 (min/max are not invertible)", dh.Min, dh.Max)
+	}
+}
+
+// TestJournalSnapshotRoundTrip: snapshots attached to journal events must
+// survive the JSONL encode/decode byte-exactly — ReadEvents reproduces the
+// emitted metrics maps field for field.
+func TestJournalSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("query.count").Add(12345)
+	r.Counter("lp.pivots").Add(987)
+	r.Gauge("census.exact_fraction").Set(0.8125) // exactly representable
+	r.Gauge("par.workers").Set(8)
+	for _, v := range []int64{1, 2, 4, 1000} {
+		r.Histogram("query.latency_ns").Observe(v)
+	}
+	snaps := []Snapshot{
+		r.Snapshot(),
+		r.Snapshot().Delta(Snapshot{}),
+	}
+
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	for i, s := range snaps {
+		s := s
+		if err := j.Emit(Event{Phase: "experiment", ID: "E02", Seed: int64(i), Metrics: &s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(snaps) {
+		t.Fatalf("read %d events, want %d", len(got), len(snaps))
+	}
+	for i, e := range got {
+		if e.Metrics == nil {
+			t.Fatalf("event %d lost its metrics", i)
+		}
+		if !reflect.DeepEqual(*e.Metrics, snaps[i]) {
+			t.Errorf("event %d snapshot mangled:\n got  %+v\n want %+v", i, *e.Metrics, snaps[i])
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one traced span. NoSpan (zero) means "no parent" /
+// "not traced".
+type SpanID int64
+
+// NoSpan is the zero SpanID: a span with no parent, or a disabled span.
+const NoSpan SpanID = 0
+
+// MainLane is the timeline lane (Chrome trace tid) of the orchestrating
+// goroutine. Worker goroutines get their own lanes via Tracer.NewLane.
+const MainLane = 0
+
+// tracePID is the synthetic Chrome trace process id; the whole run is one
+// process.
+const tracePID = 1
+
+// DefaultTraceLimit caps retained trace events so a full-size run (which
+// can execute millions of pool items) cannot exhaust memory; events beyond
+// the cap are counted in Dropped and omitted from the export.
+const DefaultTraceLimit = 1 << 20
+
+// TraceEvent is one record of the Chrome "Trace Event Format" — the JSON
+// schema Perfetto and chrome://tracing load. Complete events (Ph "X")
+// carry a start timestamp and duration in microseconds; metadata events
+// (Ph "M") name the process and the per-worker thread lanes.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects hierarchical spans with per-goroutine lane attribution
+// and exports them as Chrome trace-event JSON. Unlike the Registry's
+// latency histograms (which aggregate), the Tracer keeps individual span
+// records: one timeline lane per pool worker, one complete event per work
+// item, each carrying its span id and its parent's id. It starts disabled;
+// the disabled Begin path is one atomic load.
+type Tracer struct {
+	enabled atomic.Bool
+	nextID  atomic.Int64 // span ids; lane ids share the counter's mutex
+
+	mu      sync.Mutex
+	start   time.Time
+	events  []TraceEvent
+	lanes   map[int]string // tid -> lane name (MainLane is preset)
+	nextTID int
+	limit   int
+	dropped int64
+}
+
+// NewTracer returns an empty, disabled tracer with the default event
+// limit.
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	t.reset()
+	return t
+}
+
+var defaultTracer = NewTracer()
+
+// DefaultTracer returns the process-wide tracer internal/par records
+// worker spans into. It starts disabled; cmd tools enable it for -spans.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// SetEnabled turns span collection on or off. The first enable stamps the
+// trace epoch (timestamp zero of the exported timeline).
+func (t *Tracer) SetEnabled(on bool) {
+	if on {
+		t.mu.Lock()
+		if t.start.IsZero() {
+			t.start = time.Now()
+		}
+		t.mu.Unlock()
+	}
+	t.enabled.Store(on)
+}
+
+// Enabled reports whether the tracer is collecting.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetLimit caps the number of retained events (n <= 0 restores the
+// default). Events recorded beyond the cap are dropped and counted.
+func (t *Tracer) SetLimit(n int) {
+	if n <= 0 {
+		n = DefaultTraceLimit
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped returns the number of events discarded by the retention limit.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all collected events and lanes and re-stamps the epoch.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reset()
+}
+
+func (t *Tracer) reset() {
+	t.start = time.Time{}
+	if t.enabled.Load() {
+		t.start = time.Now()
+	}
+	t.events = nil
+	t.lanes = map[int]string{MainLane: "main"}
+	t.nextTID = MainLane
+	t.limit = DefaultTraceLimit
+	t.dropped = 0
+}
+
+// NewLane allocates a fresh timeline lane (Chrome trace tid) with the
+// given display name — one per pool worker goroutine. Returns MainLane
+// when the tracer is disabled.
+func (t *Tracer) NewLane(name string) int {
+	if !t.enabled.Load() {
+		return MainLane
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTID++
+	t.lanes[t.nextTID] = name
+	return t.nextTID
+}
+
+// TraceSpan is one in-flight traced operation. The zero TraceSpan (from a
+// disabled tracer) is a no-op.
+type TraceSpan struct {
+	t      *Tracer
+	name   string
+	cat    string
+	tid    int
+	id     SpanID
+	parent SpanID
+	begin  time.Time
+}
+
+// ID returns the span's id (NoSpan for a disabled span), usable as the
+// parent of child spans.
+func (s TraceSpan) ID() SpanID { return s.id }
+
+// Begin starts a span named name in category cat on lane tid, recording
+// parent as its hierarchical parent (NoSpan for roots). It returns the
+// zero TraceSpan when the tracer is disabled.
+func (t *Tracer) Begin(name, cat string, tid int, parent SpanID) TraceSpan {
+	if !t.enabled.Load() {
+		return TraceSpan{}
+	}
+	return TraceSpan{
+		t:      t,
+		name:   name,
+		cat:    cat,
+		tid:    tid,
+		id:     SpanID(t.nextID.Add(1)),
+		parent: parent,
+		begin:  time.Now(),
+	}
+}
+
+// End completes the span, appending one Chrome complete event carrying the
+// span id and parent id as args. No-op on the zero TraceSpan.
+func (s TraceSpan) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	args := map[string]any{"id": int64(s.id)}
+	if s.parent != NoSpan {
+		args["parent"] = int64(s.parent)
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   float64(s.begin.Sub(t.start).Nanoseconds()) / 1e3,
+		Dur:  float64(end.Sub(s.begin).Nanoseconds()) / 1e3,
+		PID:  tracePID,
+		TID:  s.tid,
+		Args: args,
+	})
+}
+
+// Events returns a copy of the collected complete events (metadata lane
+// events are synthesized at export time).
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Lanes returns a copy of the lane-name table (tid -> name).
+func (t *Tracer) Lanes() map[int]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]string, len(t.lanes))
+	for tid, name := range t.lanes {
+		out[tid] = name
+	}
+	return out
+}
+
+// chromeTrace is the top-level JSON object Perfetto loads.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the collected spans as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: process and
+// thread-name metadata first, then the complete events sorted by start
+// time. The tracer keeps its events; call Reset to discard them.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]TraceEvent, len(t.events))
+	copy(events, t.events)
+	lanes := make(map[int]string, len(t.lanes))
+	for tid, name := range t.lanes {
+		lanes[tid] = name
+	}
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	meta := []TraceEvent{{
+		Name: "process_name", Ph: "M", PID: tracePID,
+		Args: map[string]any{"name": "singlingout"},
+	}}
+	tids := make([]int, 0, len(lanes))
+	for tid := range lanes {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		meta = append(meta, TraceEvent{
+			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": lanes[tid]},
+		})
+	}
+	if dropped > 0 {
+		meta = append(meta, TraceEvent{
+			Name: fmt.Sprintf("trace limit: %d events dropped", dropped),
+			Cat:  "obs", Ph: "i", PID: tracePID, TID: MainLane,
+			Args: map[string]any{"dropped": dropped},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: trace export: %w", err)
+	}
+	return nil
+}

@@ -22,8 +22,10 @@
 package par
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -88,11 +90,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	workers = Workers(workers, n)
 	mWorkers.Set(float64(workers))
+	// When the default tracer is enabled (cmd -spans), the whole fan-out
+	// becomes a hierarchy of Chrome trace events: one parent span for the
+	// ForEach call on the main lane, one timeline lane per pool worker, and
+	// one child event per item executed on that worker's lane.
+	tr := obs.DefaultTracer()
+	pool := obs.TraceSpan{}
+	if tr.Enabled() {
+		pool = tr.Begin(fmt.Sprintf("par.ForEach n=%d workers=%d", n, workers), "par", obs.MainLane, obs.NoSpan)
+		defer pool.End()
+	}
 	if workers == 1 {
+		lane := workerLane(tr, pool, 0)
 		// Inline fast path: no goroutines, same dispense order and
 		// first-error semantics as the pooled path.
 		for i := 0; i < n; i++ {
-			if err := runItem(i, fn); err != nil {
+			if err := runItem(tr, lane, pool.ID(), i, fn); err != nil {
 				mCancelled.Add(int64(n - i - 1))
 				return err
 			}
@@ -105,6 +118,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		lane := workerLane(tr, pool, w)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -119,7 +133,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := runItem(i, fn); err != nil {
+				if err := runItem(tr, lane, pool.ID(), i, fn); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -138,11 +152,28 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
-// runItem executes one work item with span/counter accounting.
-func runItem(i int, fn func(int) error) error {
+// workerLane allocates the trace lane for worker w of a pool. Pools are
+// disambiguated by the parent span's id so two ForEach calls never merge
+// their workers into one timeline row.
+func workerLane(tr *obs.Tracer, pool obs.TraceSpan, w int) int {
+	if !tr.Enabled() {
+		return obs.MainLane
+	}
+	return tr.NewLane(fmt.Sprintf("pool %d worker %d", pool.ID(), w))
+}
+
+// runItem executes one work item with span/counter/trace accounting. lane
+// and parent attribute the item's trace event to its worker's timeline row
+// and its ForEach parent span.
+func runItem(tr *obs.Tracer, lane int, parent obs.SpanID, i int, fn func(int) error) error {
+	var ts obs.TraceSpan
+	if tr.Enabled() {
+		ts = tr.Begin("item "+strconv.Itoa(i), "par.item", lane, parent)
+	}
 	sp := mItemNS.Span()
 	err := fn(i)
 	sp.End()
+	ts.End()
 	mItems.Add(1)
 	if err != nil {
 		mErrors.Add(1)

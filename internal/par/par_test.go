@@ -175,3 +175,75 @@ func TestForEachObsIntegration(t *testing.T) {
 		t.Errorf("par.item_ns count delta = %d, want 50", got)
 	}
 }
+
+// TestForEachTraceWorkerLanes pins the -spans contract: with the default
+// tracer enabled, a pooled ForEach exports one parent span on the main
+// lane, one named timeline lane per pool worker, and one child event per
+// item whose parent arg is the ForEach span's id.
+func TestForEachTraceWorkerLanes(t *testing.T) {
+	tr := obs.DefaultTracer()
+	tr.Reset()
+	tr.SetEnabled(true)
+	defer func() {
+		tr.SetEnabled(false)
+		tr.Reset()
+	}()
+
+	const workers, n = 4, 32
+	if err := par.ForEach(workers, n, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	tr.SetEnabled(false)
+
+	workerLanes := map[int]string{}
+	for tid, name := range tr.Lanes() {
+		if tid != obs.MainLane {
+			workerLanes[tid] = name
+		}
+	}
+	if len(workerLanes) != workers {
+		t.Fatalf("worker lanes = %v, want %d lanes", workerLanes, workers)
+	}
+
+	var pool *obs.TraceEvent
+	items := 0
+	for _, e := range tr.Events() {
+		e := e
+		switch e.Cat {
+		case "par":
+			if pool != nil {
+				t.Fatal("more than one pool span recorded")
+			}
+			if e.TID != obs.MainLane {
+				t.Errorf("pool span on lane %d, want main lane", e.TID)
+			}
+			pool = &e
+		case "par.item":
+			items++
+			if _, ok := workerLanes[e.TID]; !ok {
+				t.Errorf("item %q on unknown lane %d", e.Name, e.TID)
+			}
+		}
+	}
+	if pool == nil {
+		t.Fatal("no par.ForEach parent span recorded")
+	}
+	if items != n {
+		t.Errorf("item events = %d, want %d", items, n)
+	}
+	poolID := pool.Args["id"]
+	for _, e := range tr.Events() {
+		if e.Cat == "par.item" && e.Args["parent"] != poolID {
+			t.Errorf("item %q parent = %v, want pool id %v", e.Name, e.Args["parent"], poolID)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents"`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"thread_name"`)) {
+		t.Error("Chrome trace export missing traceEvents/thread_name metadata")
+	}
+}
