@@ -28,9 +28,11 @@ build:
 	$(GO) build ./...
 
 # ./internal/obs/... covers internal/obs/serve, whose SSE/scrape handlers
-# run concurrently with the instrumented experiments.
+# run concurrently with the instrumented experiments; ./internal/query/...
+# covers query/remote (the HTTP query service + client) and ./cmd/qserver
+# the served binary's concurrent request handling.
 race:
-	$(GO) test -race ./internal/par/... ./internal/pso/... ./internal/obs/... ./internal/query/... ./internal/census/...
+	$(GO) test -race ./internal/par/... ./internal/pso/... ./internal/obs/... ./internal/query/... ./internal/census/... ./cmd/qserver/...
 
 test:
 	$(GO) test ./...
@@ -50,9 +52,11 @@ bench:
 
 # Gate: fail if any quick-mode experiment regressed more than 50% in
 # wall clock against the committed baseline (experiments faster than
-# 0.25s in the baseline are skipped as timing noise).
+# 0.25s in the baseline are skipped as timing noise), or if a required
+# probe row (the BENCH.remote.* query-service throughput rows) vanished
+# from the new summary.
 benchgate: repro-quick
-	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 BENCH_baseline.json /tmp/BENCH_$(rev).json
+	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 -require BENCH.remote. BENCH_baseline.json /tmp/BENCH_$(rev).json
 
 gobench:
 	$(GO) test -bench=. -benchmem .

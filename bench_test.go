@@ -11,12 +11,16 @@ package singlingout
 // EXPERIMENTS.md for the archived full-size numbers).
 
 import (
+	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"testing"
 
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
+	"singlingout/internal/query/remote"
 )
 
 var printOnce sync.Map
@@ -80,6 +84,38 @@ func BenchmarkE16LegalVerdictTable(b *testing.B)        { benchExperiment(b, "E1
 func BenchmarkE17MembershipInference(b *testing.B)      { benchExperiment(b, "E17") }
 func BenchmarkE18NetflixScoreboard(b *testing.B)        { benchExperiment(b, "E18") }
 func BenchmarkE19CensusDefenses(b *testing.B)           { benchExperiment(b, "E19") }
+
+// BenchmarkRemoteReconstruct runs the E02.remote LP-reconstruction sweep
+// against an in-process qserver over loopback HTTP — the full remote
+// attack path (wire encoding, canonicalization, answer cache) rather than
+// an in-process oracle call. The server persists across iterations, so
+// later iterations measure the cache-hit path the way a long-lived
+// service would serve a repeat analyst.
+func BenchmarkRemoteReconstruct(b *testing.B) {
+	srv, err := remote.NewServer(remote.ServerConfig{N: 32, Seed: 1, P: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	defer hs.Close()
+	ctx := context.Background()
+	o, err := remote.Dial(ctx, "http://"+ln.Addr().String(), remote.Options{Analyst: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := remote.Dataset(1, 32, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E02OverOracle(ctx, o, truth, 1, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkAblationLPObjective(b *testing.B)         { benchExperiment(b, "A01") }
 func BenchmarkAblationPrefixArity(b *testing.B)         { benchExperiment(b, "A02") }

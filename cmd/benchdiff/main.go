@@ -5,21 +5,24 @@
 //
 // Usage:
 //
-//	benchdiff [-gate pct] [-min seconds] BENCH_base.json BENCH_new.json
+//	benchdiff [-gate pct] [-min seconds] [-require prefixes] BENCH_base.json BENCH_new.json
 //
 // With -gate, benchdiff exits nonzero when any experiment's wall-clock
 // regressed by more than pct percent against the baseline (or ran clean in
 // the baseline but errored in the new run). -min sets the baseline floor
-// below which an experiment is too fast to gate on (timing noise). The
-// Makefile ci target runs the gate against the committed
-// BENCH_baseline.json so the repository's performance trajectory is
-// enforced, not just recorded.
+// below which an experiment is too fast to gate on (timing noise).
+// -require takes comma-separated id prefixes: any baseline row matching a
+// prefix must also appear in the new summary, so probe rows (e.g.
+// BENCH.remote.) cannot silently vanish from the trajectory. The Makefile
+// ci target runs the gate against the committed BENCH_baseline.json so the
+// repository's performance trajectory is enforced, not just recorded.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"singlingout/internal/obs"
 )
@@ -27,9 +30,10 @@ import (
 func main() {
 	gate := flag.Float64("gate", -1, "exit nonzero when any experiment regresses by more than this percent (negative: report only)")
 	min := flag.Float64("min", 0.05, "ignore regressions on experiments whose baseline wall-clock is below this many seconds")
+	require := flag.String("require", "", "comma-separated id prefixes; baseline rows matching one must also exist in the new summary")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-gate pct] [-min seconds] BENCH_base.json BENCH_new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-gate pct] [-min seconds] [-require prefixes] BENCH_base.json BENCH_new.json\n")
 		os.Exit(2)
 	}
 
@@ -48,6 +52,21 @@ func main() {
 	if err := diff.Fprint(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	if *require != "" {
+		var prefixes []string
+		for _, p := range strings.Split(*require, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				prefixes = append(prefixes, p)
+			}
+		}
+		if missing := diff.MissingFromNew(prefixes); len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d required row(s) missing:\n", len(missing))
+			for _, m := range missing {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+			os.Exit(1)
+		}
 	}
 	if *gate < 0 {
 		return

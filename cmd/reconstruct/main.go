@@ -6,11 +6,20 @@
 // Usage:
 //
 //	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full] [-stats]
+//	            [-remote http://host:port] [-remote-backend exact] [-analyst name]
 //	            [-workers N] [-metrics out.jsonl] [-serve :8088] [-spans out.trace.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -stats appends an obs metrics footer (oracle queries, simplex pivots,
 // SAT conflicts, ...) to every table.
+//
+// -remote points the LP-decoding attack at a running qserver instead of an
+// in-process oracle: it dials the server, regenerates the ground truth
+// locally from the advertised (seed, n, p), and runs the E02.remote sweep
+// over the wire. -remote-backend selects the server oracle (exact,
+// laplace, diffix) and -analyst the budget-accounting identity. Against
+// the exact backend the table is byte-identical to the same sweep run
+// in-process at the same seed.
 //
 // -metrics records a JSONL run journal (one event per attack); -serve
 // exposes the live observability HTTP endpoint (Prometheus /metrics,
@@ -23,6 +32,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +42,8 @@ import (
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
 	"singlingout/internal/obs/serve"
+	"singlingout/internal/query"
+	"singlingout/internal/query/remote"
 )
 
 func main() {
@@ -39,6 +52,9 @@ func main() {
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
 	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel attacks (0 = GOMAXPROCS); output is identical at any value")
+	remoteURL := flag.String("remote", "", "attack a running qserver at this base URL instead of in-process oracles")
+	remoteBackend := flag.String("remote-backend", "exact", "qserver backend to attack: exact, laplace, diffix")
+	analyst := flag.String("analyst", "", "budget-accounting identity sent to the qserver")
 	tool := serve.AddToolFlags(flag.CommandLine, "reconstruct")
 	flag.Parse()
 	experiments.SetWorkers(*workers)
@@ -47,7 +63,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
 		os.Exit(1)
 	}
-	status := run(tool, *attack, *seed, *full, *stats)
+	var status int
+	if *remoteURL != "" {
+		status = runRemote(tool, *remoteURL, *remoteBackend, *analyst, *seed, *full, *stats)
+	} else {
+		status = run(tool, *attack, *seed, *full, *stats)
+	}
 	if err := tool.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
 		if status == 0 {
@@ -55,6 +76,73 @@ func main() {
 		}
 	}
 	os.Exit(status)
+}
+
+// runRemote mounts the LP-decoding sweep against a qserver: ground truth
+// is regenerated locally from the server's advertised metadata, never
+// transmitted.
+func runRemote(tool *serve.Tool, baseURL, backend, analyst string, seed int64, full, stats bool) int {
+	ctx := context.Background()
+	o, err := remote.Dial(ctx, baseURL, remote.Options{Backend: backend, Analyst: analyst})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		return 1
+	}
+	meta := o.Meta()
+	fmt.Fprintf(os.Stderr, "reconstruct: attacking %s backend %q (n=%d seed=%d budget=%d)\n",
+		baseURL, backend, meta.N, meta.Seed, meta.Budget)
+	tool.SetPhase("E02.remote")
+	tool.Emit(obs.Event{
+		Phase: "run_start",
+		Seed:  seed,
+		Quick: !full,
+		Sizes: map[string]int{"experiments": 1, "n": meta.N},
+	})
+	truth := remote.Dataset(meta.Seed, meta.N, meta.P)
+	reg := obs.Default()
+	instrumented := stats || tool.Observing()
+	if instrumented {
+		wasEnabled := reg.Enabled()
+		reg.SetEnabled(true)
+		defer reg.SetEnabled(wasEnabled)
+	}
+	start := time.Now()
+	before := reg.Snapshot()
+	tab, err := experiments.E02OverOracle(ctx, o, truth, seed, !full)
+	ev := obs.Event{
+		Phase:   "experiment",
+		ID:      "E02.remote",
+		Seed:    seed,
+		Quick:   !full,
+		Seconds: time.Since(start).Seconds(),
+	}
+	if instrumented {
+		delta := reg.Snapshot().Delta(before)
+		if !delta.Empty() {
+			ev.Metrics = &delta
+		}
+		if tab != nil && stats {
+			tab.Metrics = delta
+		}
+	}
+	if err != nil {
+		ev.Error = err.Error()
+		tool.Emit(ev)
+		if errors.Is(err, query.ErrBudgetExhausted) {
+			fmt.Fprintf(os.Stderr, "reconstruct: the server's query budget ran out mid-attack — the defense held: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		}
+		return 1
+	}
+	tool.Emit(ev)
+	if err := tab.Fprint(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+		return 1
+	}
+	tool.Emit(obs.Event{Phase: "run_end", Seed: seed, Quick: !full, Sizes: map[string]int{"experiments": 1}})
+	tool.SetPhase("done")
+	return 0
 }
 
 func run(tool *serve.Tool, attack string, seed int64, full, stats bool) int {

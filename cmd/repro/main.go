@@ -23,8 +23,10 @@
 // -workers sizes the worker pool the parallel harnesses (E01, E02, E11,
 // E13, E19) fan out on (0 = GOMAXPROCS). Per-item randomness derives from
 // (seed, item index), so tables are byte-identical at every worker count.
-// With -metrics, a sequential-vs-parallel census probe is also timed and
-// lands as BENCH.census rows in the BENCH_<rev>.json summary.
+// With -metrics, a sequential-vs-parallel census probe and a remote
+// query-throughput probe (loopback qserver, batch=1 vs batch=256) are also
+// timed and land as BENCH.census / BENCH.remote rows in the
+// BENCH_<rev>.json summary.
 //
 // Failing experiments no longer abort the run: every experiment is
 // attempted, failures are reported together at the end, and the exit
@@ -32,9 +34,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -44,6 +49,9 @@ import (
 	"singlingout/internal/experiments"
 	"singlingout/internal/obs"
 	"singlingout/internal/obs/serve"
+	"singlingout/internal/par"
+	"singlingout/internal/query"
+	"singlingout/internal/query/remote"
 	"singlingout/internal/synth"
 )
 
@@ -78,6 +86,50 @@ func benchCensusProbe(emit func(obs.Event), seed int64) error {
 			Seed:    seed,
 			Seconds: time.Since(start).Seconds(),
 			Sizes:   map[string]int{"blocks": len(tables), "workers": workers},
+		})
+	}
+	return nil
+}
+
+// benchRemoteProbe times raw statistical-query throughput over the wire:
+// an in-process qserver (loopback HTTP, exact backend) answers the same
+// workload once a query at a time and once in large batches, landing as
+// BENCH.remote.batch=N rows in BENCH_<rev>.json. Each configuration uses
+// its own analyst and its own query set, so neither the budget accounting
+// nor the server's answer cache couples the two rows.
+func benchRemoteProbe(emit func(obs.Event), seed int64) error {
+	srv, err := remote.NewServer(remote.ServerConfig{N: 128, Seed: seed, P: 0.5})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	defer hs.Close()
+	ctx := context.Background()
+	const m = 512
+	for i, batch := range []int{1, 256} {
+		o, err := remote.Dial(ctx, "http://"+ln.Addr().String(), remote.Options{
+			Analyst:  fmt.Sprintf("bench-batch-%d", batch),
+			MaxBatch: batch,
+		})
+		if err != nil {
+			return err
+		}
+		queries := query.RandomSubsets(par.RNG(seed, i), o.N(), m)
+		start := time.Now()
+		if _, err := o.Answer(ctx, queries); err != nil {
+			return err
+		}
+		emit(obs.Event{
+			Phase:   "experiment",
+			ID:      fmt.Sprintf("BENCH.remote.batch=%d", batch),
+			Seed:    seed,
+			Seconds: time.Since(start).Seconds(),
+			Sizes:   map[string]int{"queries": m, "batch": batch},
 		})
 	}
 	return nil
@@ -187,6 +239,9 @@ func run(tool *serve.Tool, seed int64, quick bool, id string) int {
 		tool.SetPhase("bench_probe")
 		if err := benchCensusProbe(tool.Emit, seed); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: bench probe: %v\n", err)
+		}
+		if err := benchRemoteProbe(tool.Emit, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: remote bench probe: %v\n", err)
 		}
 	}
 	tool.Emit(obs.Event{

@@ -9,22 +9,27 @@
 package diffix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"singlingout/internal/query"
 	"singlingout/internal/recon"
 )
 
-// ErrSuppressed is returned for queries over too few users (low-count
-// suppression).
+// ErrSuppressed is the sentinel for queries over too few users (low-count
+// suppression). The Cloak and the query service's diffix backend wrap it,
+// so call sites match with errors.Is.
 var ErrSuppressed = errors.New("diffix: bucket suppressed (too few users)")
 
 // Cloak is the anonymizing query interface. It implements query.Oracle,
-// so the reconstruction attacks in package recon run against it
-// unchanged.
+// so the reconstruction attacks in package recon run against it unchanged
+// — in-process or behind the query service's diffix endpoint. Its answers
+// are deterministic in (Seed, query set) and the statistics counters are
+// atomic, so a Cloak may serve concurrent analysts.
 type Cloak struct {
 	// X is the protected binary attribute per user.
 	X []int64
@@ -37,20 +42,42 @@ type Cloak struct {
 	// Seed keys the sticky-noise PRF.
 	Seed int64
 
-	// Queries counts answered queries (statistic).
-	Queries int
-	// Suppressed counts refused queries (statistic).
-	Suppressed int
+	queries    atomic.Int64
+	suppressed atomic.Int64
 }
 
 // N implements query.Oracle.
 func (c *Cloak) N() int { return len(c.X) }
 
-// SubsetSum implements query.Oracle: it answers the count of flagged
-// users among q with sticky noise, or refuses with ErrSuppressed.
-func (c *Cloak) SubsetSum(q []int) (float64, error) {
+// Queries returns the number of answered queries (statistic).
+func (c *Cloak) Queries() int { return int(c.queries.Load()) }
+
+// Suppressed returns the number of refused queries (statistic).
+func (c *Cloak) Suppressed() int { return int(c.suppressed.Load()) }
+
+// Answer implements query.Oracle: each query is answered with the count
+// of flagged users among q plus sticky noise, or refused with a wrapped
+// ErrSuppressed. The batch fails as a unit on the first refused or
+// malformed query.
+func (c *Cloak) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	out := make([]float64, len(queries))
+	for qi, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := c.answerOne(q)
+		if err != nil {
+			return nil, err
+		}
+		out[qi] = a
+	}
+	return out, nil
+}
+
+// answerOne is the per-query cloak: suppression, validation, sticky noise.
+func (c *Cloak) answerOne(q []int) (float64, error) {
 	if len(q) < c.Threshold {
-		c.Suppressed++
+		c.suppressed.Add(1)
 		return 0, fmt.Errorf("%w: %d < %d", ErrSuppressed, len(q), c.Threshold)
 	}
 	// Same well-formedness contract as the query package's oracles: a
@@ -68,7 +95,7 @@ func (c *Cloak) SubsetSum(q []int) (float64, error) {
 		h ^= (uint64(i) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
 		h *= 0x94d049bb133111eb
 	}
-	c.Queries++
+	c.queries.Add(1)
 	// Sticky noise: deterministic in the query set.
 	rng := rand.New(rand.NewSource(int64(h)))
 	return float64(sum) + rng.NormFloat64()*c.SD, nil
@@ -88,7 +115,7 @@ type AttackResult struct {
 // Attack mounts the Cohen–Nissim LP reconstruction: it issues m random
 // subset queries that are large enough to evade suppression, then solves
 // the L1-fitting linear program for the protected bits.
-func Attack(rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
+func Attack(ctx context.Context, rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
 	n := c.N()
 	if m <= 0 {
 		return AttackResult{}, nil, fmt.Errorf("diffix: need a positive query count")
@@ -106,7 +133,7 @@ func Attack(rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
 		}
 		queries = append(queries, q)
 	}
-	guess, frac, err := recon.LPDecode(query.Instrument(c, nil), queries, recon.L1Slack)
+	guess, frac, err := recon.LPDecode(ctx, query.Instrument(c, nil), queries, recon.L1Slack)
 	if err != nil {
 		return AttackResult{}, nil, fmt.Errorf("diffix: %w", err)
 	}
@@ -116,17 +143,17 @@ func Attack(rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
 	}
 	// Residual diagnostic: replay the sticky answers against the LP's
 	// fractional solution.
+	replay, err := c.Answer(ctx, queries) // sticky: same answers as during the attack
+	if err != nil {
+		return AttackResult{}, nil, err
+	}
 	var resid float64
-	for _, q := range queries {
-		a, err := c.SubsetSum(q) // sticky: same answer as during the attack
-		if err != nil {
-			return AttackResult{}, nil, err
-		}
+	for qi, q := range queries {
 		s := 0.0
 		for _, i := range q {
 			s += frac[i]
 		}
-		resid += math.Abs(a - s)
+		resid += math.Abs(replay[qi] - s)
 	}
 	res.MeanAbsResidual = resid / float64(len(queries))
 	return res, guess, nil
@@ -135,18 +162,21 @@ func Attack(rng *rand.Rand, c *Cloak, m int) (AttackResult, []int64, error) {
 // StickinessCheck verifies the averaging defense: issuing the same query
 // repeatedly must return the identical answer. It returns an error if two
 // answers differ (which would indicate the defense is broken).
-func StickinessCheck(c *Cloak, q []int, repeats int) error {
-	first, err := c.SubsetSum(q)
+func StickinessCheck(ctx context.Context, c *Cloak, q []int, repeats int) error {
+	if repeats <= 0 {
+		return nil
+	}
+	batch := make([][]int, repeats)
+	for i := range batch {
+		batch[i] = q
+	}
+	answers, err := c.Answer(ctx, batch)
 	if err != nil {
 		return err
 	}
-	for i := 1; i < repeats; i++ {
-		a, err := c.SubsetSum(q)
-		if err != nil {
-			return err
-		}
-		if a != first {
-			return fmt.Errorf("diffix: sticky noise broken: %v != %v", a, first)
+	for _, a := range answers[1:] {
+		if a != answers[0] {
+			return fmt.Errorf("diffix: sticky noise broken: %v != %v", a, answers[0])
 		}
 	}
 	return nil

@@ -1,29 +1,33 @@
 package diffix
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
+	"singlingout/internal/query"
 	"singlingout/internal/synth"
 )
+
+var ctx = context.Background()
 
 func TestStickyNoise(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	c := &Cloak{X: synth.BinaryDataset(rng, 50, 0.5), SD: 2, Threshold: 5, Seed: 7}
 	q := []int{0, 3, 7, 9, 12, 20}
-	if err := StickinessCheck(c, q, 10); err != nil {
+	if err := StickinessCheck(ctx, c, q, 10); err != nil {
 		t.Fatal(err)
 	}
 	// A different query gets (almost surely) different noise.
-	a1, _ := c.SubsetSum(q)
-	a2, _ := c.SubsetSum([]int{0, 3, 7, 9, 12, 21})
+	a1, _ := query.AnswerOne(ctx, c, q)
+	a2, _ := query.AnswerOne(ctx, c, []int{0, 3, 7, 9, 12, 21})
 	if a1 == a2 {
 		t.Error("distinct queries returned identical answers (suspicious)")
 	}
 	// Different seeds decorrelate answers to the same query.
 	c2 := &Cloak{X: c.X, SD: 2, Threshold: 5, Seed: 8}
-	b1, _ := c2.SubsetSum(q)
+	b1, _ := query.AnswerOne(ctx, c2, q)
 	if b1 == a1 {
 		t.Error("different cloak seeds returned identical noise")
 	}
@@ -32,29 +36,46 @@ func TestStickyNoise(t *testing.T) {
 func TestSuppression(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	c := &Cloak{X: synth.BinaryDataset(rng, 50, 0.5), SD: 1, Threshold: 10, Seed: 1}
-	_, err := c.SubsetSum([]int{1, 2, 3})
+	_, err := query.AnswerOne(ctx, c, []int{1, 2, 3})
 	if !errors.Is(err, ErrSuppressed) {
 		t.Fatalf("want suppression, got %v", err)
 	}
-	if c.Suppressed != 1 {
-		t.Errorf("Suppressed = %d", c.Suppressed)
+	if c.Suppressed() != 1 {
+		t.Errorf("Suppressed = %d", c.Suppressed())
 	}
-	if _, err := c.SubsetSum([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+	if _, err := query.AnswerOne(ctx, c, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
 		t.Errorf("large query should be answered: %v", err)
 	}
-	if c.Queries != 1 {
-		t.Errorf("Queries = %d", c.Queries)
+	if c.Queries() != 1 {
+		t.Errorf("Queries = %d", c.Queries())
 	}
-	if _, err := c.SubsetSum(make([]int, 11)); err == nil {
+	if _, err := query.AnswerOne(ctx, c, make([]int, 11)); err == nil {
 		// all zeros: index 0 repeated — a malformed query the cloak must
 		// reject, like every other oracle (it would count user 0 eleven
 		// times while the LP decoder counts them once).
 		t.Error("duplicate-index query should fail")
+	} else if !errors.Is(err, query.ErrInvalidQuery) {
+		t.Errorf("malformed query should wrap ErrInvalidQuery, got %v", err)
 	}
 	bad := make([]int, 12)
 	bad[3] = 99
-	if _, err := c.SubsetSum(bad); err == nil {
+	if _, err := query.AnswerOne(ctx, c, bad); err == nil {
 		t.Error("out-of-range user should fail")
+	}
+}
+
+func TestAnswerBatchFailsAsUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := &Cloak{X: synth.BinaryDataset(rng, 30, 0.5), SD: 1, Threshold: 5, Seed: 2}
+	// Second query is below the suppression threshold: the whole batch
+	// is refused and no answers leak.
+	if _, err := c.Answer(ctx, [][]int{{0, 1, 2, 3, 4, 5}, {0}}); !errors.Is(err, ErrSuppressed) {
+		t.Fatalf("want suppression for the batch, got %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Answer(cancelled, [][]int{{0, 1, 2, 3, 4, 5}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
@@ -64,7 +85,7 @@ func TestAttackReconstructs(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	n := 64
 	c := &Cloak{X: synth.BinaryDataset(rng, n, 0.5), SD: 1.5, Threshold: 8, Seed: 99}
-	res, guess, err := Attack(rng, c, 4*n)
+	res, guess, err := Attack(ctx, rng, c, 4*n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +109,7 @@ func TestAttackFailsUnderHugeNoise(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	n := 48
 	c := &Cloak{X: synth.BinaryDataset(rng, n, 0.5), SD: float64(n), Threshold: 8, Seed: 5}
-	res, _, err := Attack(rng, c, 4*n)
+	res, _, err := Attack(ctx, rng, c, 4*n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +121,7 @@ func TestAttackFailsUnderHugeNoise(t *testing.T) {
 func TestAttackValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	c := &Cloak{X: []int64{0, 1}, SD: 1, Threshold: 1, Seed: 1}
-	if _, _, err := Attack(rng, c, 0); err == nil {
+	if _, _, err := Attack(ctx, rng, c, 0); err == nil {
 		t.Error("zero queries should fail")
 	}
 }

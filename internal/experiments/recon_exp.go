@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -46,7 +47,7 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, queries)
 			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-			got, err := recon.Exhaustive(o, qs, alpha)
+			got, err := recon.Exhaustive(context.Background(), o, qs, alpha)
 			if err != nil {
 				return err
 			}
@@ -107,7 +108,7 @@ func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, 4*n)
 			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-			got, _, err := recon.LPDecode(o, qs, recon.L1Slack)
+			got, _, err := recon.LPDecode(context.Background(), o, qs, recon.L1Slack)
 			if err != nil {
 				return err
 			}
@@ -187,7 +188,7 @@ func E13DiffixReconstruction(seed int64, quick bool) (*Table, error) {
 		rng := par.RNG(seed, i)
 		sd := sds[i]
 		c := &diffix.Cloak{X: synth.BinaryDataset(rng, n, 0.5), SD: sd, Threshold: 8, Seed: seed + int64(sd*100)}
-		res, _, err := diffix.Attack(rng, c, 4*n)
+		res, _, err := diffix.Attack(context.Background(), rng, c, 4*n)
 		if err != nil {
 			return err
 		}
@@ -230,7 +231,7 @@ func A01LPObjective(seed int64, quick bool) (*Table, error) {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, 4*n)
 			oracle := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-			got, _, err := recon.LPDecode(oracle, qs, obj.o)
+			got, _, err := recon.LPDecode(context.Background(), oracle, qs, obj.o)
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // ReadBenchFile loads a BENCH_<rev>.json performance summary.
@@ -162,6 +163,29 @@ func (diff BenchDiff) Fprint(w io.Writer) error {
 		"TOTAL", diff.Base.TotalSeconds, diff.New.TotalSeconds,
 		diff.New.TotalSeconds-diff.Base.TotalSeconds, totalPct)
 	return err
+}
+
+// MissingFromNew returns one violation per baseline experiment matching
+// any of the id prefixes that is absent from the new summary. Regressions
+// deliberately skips missing rows (probe ids may legitimately vary across
+// hosts — BENCH.census.workers=N depends on the core count), which means a
+// silently dropped probe would never trip the gate; requiring a prefix
+// closes that gap for rows whose ids are host-independent (e.g.
+// "BENCH.remote.").
+func (diff BenchDiff) MissingFromNew(prefixes []string) []string {
+	var out []string
+	for _, d := range diff.Rows {
+		if !d.InBase || d.InNew {
+			continue
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(d.ID, p) {
+				out = append(out, fmt.Sprintf("%s: required baseline row (prefix %q) missing from new summary", d.ID, p))
+				break
+			}
+		}
+	}
+	return out
 }
 
 // Regressions returns one violation per experiment whose wall-clock grew

@@ -30,6 +30,38 @@ func benchPair() (BenchSummary, BenchSummary) {
 	return base, cur
 }
 
+func TestMissingFromNew(t *testing.T) {
+	base, cur := benchPair()
+	base.Experiments = append(base.Experiments,
+		BenchEntry{ID: "BENCH.remote.batch=1", Seconds: 0.1},
+		BenchEntry{ID: "BENCH.remote.batch=256", Seconds: 0.02},
+	)
+	cur.Experiments = append(cur.Experiments,
+		BenchEntry{ID: "BENCH.remote.batch=1", Seconds: 0.1},
+		// batch=256 silently dropped from the new run
+	)
+	diff := DiffBench(base, cur)
+	missing := diff.MissingFromNew([]string{"BENCH.remote."})
+	if len(missing) != 1 || !strings.Contains(missing[0], "BENCH.remote.batch=256") {
+		t.Errorf("missing = %v, want exactly the dropped batch=256 row", missing)
+	}
+	// The renamed census probe is not required, so it is not a violation —
+	// and no prefixes means nothing ever is.
+	if got := diff.MissingFromNew([]string{"BENCH.nonesuch."}); len(got) != 0 {
+		t.Errorf("unrelated prefix produced %v", got)
+	}
+	if got := diff.MissingFromNew(nil); len(got) != 0 {
+		t.Errorf("nil prefixes produced %v", got)
+	}
+	// Regressions still ignores missing rows (that is the gap -require
+	// closes), so the two checks compose rather than overlap.
+	for _, v := range diff.Regressions(1000, 0) {
+		if strings.Contains(v, "BENCH.remote.batch=256") {
+			t.Errorf("Regressions should not report missing rows: %v", v)
+		}
+	}
+}
+
 func TestDiffBenchRows(t *testing.T) {
 	base, cur := benchPair()
 	diff := DiffBench(base, cur)

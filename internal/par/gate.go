@@ -1,0 +1,73 @@
+package par
+
+import (
+	"context"
+	"fmt"
+
+	"singlingout/internal/obs"
+)
+
+// Gate metrics recorded into obs.Default(). par.gate_waits counts Enter
+// calls that had to block for a slot, par.gate_inflight gauges the slots
+// currently held.
+var (
+	mGateWaits    = obs.Default().Counter("par.gate_waits")
+	mGateInflight = obs.Default().Gauge("par.gate_inflight")
+)
+
+// Gate is a context-aware concurrency limiter: at most `limit` holders are
+// inside at once, and waiting for a slot is abandoned when the caller's
+// context ends. The query service uses one Gate to bound concurrent
+// request handling on top of the worker pool; anything serving
+// long-running work over a network wants the same shape — bounded
+// in-flight work, cancellable waits.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a Gate admitting at most limit concurrent holders.
+// limit < 1 panics: a gate nobody can enter is a configuration error, not
+// a degenerate case to serve.
+func NewGate(limit int) *Gate {
+	if limit < 1 {
+		panic(fmt.Sprintf("par: NewGate(%d): limit must be positive", limit))
+	}
+	return &Gate{slots: make(chan struct{}, limit)}
+}
+
+// Enter blocks until a slot is free or ctx ends, returning ctx.Err() in
+// the latter case. On success the caller must Leave() exactly once.
+func (g *Gate) Enter(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		mGateInflight.Set(float64(len(g.slots)))
+		return nil
+	default:
+	}
+	mGateWaits.Add(1)
+	select {
+	case g.slots <- struct{}{}:
+		mGateInflight.Set(float64(len(g.slots)))
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave releases a slot acquired by Enter. Leaving without a matching
+// Enter panics (it would silently raise the limit).
+func (g *Gate) Leave() {
+	select {
+	case <-g.slots:
+		mGateInflight.Set(float64(len(g.slots)))
+	default:
+		panic("par: Gate.Leave without Enter")
+	}
+}
+
+// Limit reports the gate's capacity.
+func (g *Gate) Limit() int { return cap(g.slots) }
+
+// InUse reports the slots currently held (a snapshot; concurrent callers
+// may change it immediately).
+func (g *Gate) InUse() int { return len(g.slots) }

@@ -1,0 +1,85 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateLimitsConcurrency(t *testing.T) {
+	const limit, workers, perW = 3, 10, 50
+	g := NewGate(limit)
+	var inside, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if err := g.Enter(context.Background()); err != nil {
+					t.Errorf("Enter: %v", err)
+					return
+				}
+				now := inside.Add(1)
+				for {
+					p := peak.Load()
+					if now <= p || peak.CompareAndSwap(p, now) {
+						break
+					}
+				}
+				inside.Add(-1)
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent holders, limit %d", p, limit)
+	}
+	if g.InUse() != 0 {
+		t.Errorf("InUse = %d after all left", g.InUse())
+	}
+	if g.Limit() != limit {
+		t.Errorf("Limit = %d", g.Limit())
+	}
+}
+
+func TestGateEnterHonorsContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Enter(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Enter on a full gate = %v, want DeadlineExceeded", err)
+	}
+	g.Leave()
+	// The abandoned wait must not have leaked a slot.
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatalf("Enter after Leave: %v", err)
+	}
+	g.Leave()
+}
+
+func TestGatePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewGate(0) should panic")
+			}
+		}()
+		NewGate(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Leave without Enter should panic")
+			}
+		}()
+		NewGate(1).Leave()
+	}()
+}

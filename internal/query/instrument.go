@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 
 	"singlingout/internal/obs"
@@ -14,14 +15,15 @@ import (
 // one counting query), keeping "oracle query count" comparable across
 // pipelines.
 const (
-	// MetricQueries counts SubsetSum (and equivalent counting-query)
+	// MetricQueries counts subset-sum (and equivalent counting-query)
 	// answers consumed by attacks.
 	MetricQueries = "query.count"
 	// MetricSubsetSize is the histogram of queried subset sizes.
 	MetricSubsetSize = "query.subset_size"
-	// MetricLatency is the histogram of per-answer latencies (ns).
+	// MetricLatency is the histogram of per-batch answer latencies (ns);
+	// single-query call sites make it per-answer.
 	MetricLatency = "query.latency_ns"
-	// MetricErrors counts failed queries (bad index, suppression, ...).
+	// MetricErrors counts failed batches (bad index, suppression, ...).
 	MetricErrors = "query.errors"
 	// MetricBudgetDenied counts queries refused by an exhausted budget.
 	MetricBudgetDenied = "query.budget_denied"
@@ -30,8 +32,8 @@ const (
 	MetricBudgetUsed = "query.budget_used"
 )
 
-// Instrumented wraps an Oracle and records query count, subset sizes,
-// answer latency and budget consumption into an obs.Registry. It is safe
+// Instrumented wraps an Oracle and records query counts, subset sizes,
+// batch latency and budget consumption into an obs.Registry. It is safe
 // for concurrent use whenever the wrapped oracle is; all accounting is
 // atomic, so `go test -race` passes on concurrent workloads.
 type Instrumented struct {
@@ -45,7 +47,7 @@ type Instrumented struct {
 	budgetUsed   *obs.Gauge
 }
 
-// Instrument wraps o so every SubsetSum is accounted in r (nil means
+// Instrument wraps o so every Answer batch is accounted in r (nil means
 // obs.Default()). Wrapping an already-instrumented oracle returns it
 // unchanged to avoid double counting.
 func Instrument(o Oracle, r *obs.Registry) *Instrumented {
@@ -66,13 +68,15 @@ func Instrument(o Oracle, r *obs.Registry) *Instrumented {
 	}
 }
 
-// SubsetSum implements Oracle, delegating to the wrapped oracle and
-// recording the query. The answer and error pass through unchanged.
-func (in *Instrumented) SubsetSum(q []int) (float64, error) {
-	in.queries.Add(1)
-	in.subset.Observe(int64(len(q)))
+// Answer implements Oracle, delegating to the wrapped oracle and
+// recording the batch. The answers and error pass through unchanged.
+func (in *Instrumented) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	in.queries.Add(int64(len(queries)))
+	for _, q := range queries {
+		in.subset.Observe(int64(len(q)))
+	}
 	sp := in.latency.Span()
-	a, err := in.Inner.SubsetSum(q)
+	a, err := in.Inner.Answer(ctx, queries)
 	sp.End()
 	if err != nil {
 		in.errs.Add(1)

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -10,8 +11,8 @@ import (
 )
 
 // TestBudgetExhaustedMidAttack drives a budgeted oracle past its limit the
-// way an attack workload would and checks both the error identity and the
-// instrumented accounting of the denials.
+// way a single-query attack workload would and checks both the error
+// identity and the instrumented accounting of the denials.
 func TestBudgetExhaustedMidAttack(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.SetEnabled(true)
@@ -22,7 +23,7 @@ func TestBudgetExhaustedMidAttack(t *testing.T) {
 	qs := RandomSubsets(rand.New(rand.NewSource(7)), len(x), 10)
 	answered, denied := 0, 0
 	for _, q := range qs {
-		_, err := in.SubsetSum(q)
+		_, err := AnswerOne(ctx, in, q)
 		switch {
 		case err == nil:
 			answered++
@@ -53,44 +54,72 @@ func TestBudgetExhaustedMidAttack(t *testing.T) {
 	}
 }
 
-// TestSubsetSumOutOfRange checks every oracle type rejects out-of-range
+// TestInstrumentedBatchAccounting checks that a batch of k queries counts
+// as k issued queries, one latency observation, and one error on failure.
+func TestInstrumentedBatchAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	in := Instrument(&Exact{X: []int64{1, 0, 1}}, reg)
+	if _, err := in.Answer(ctx, [][]int{{0}, {1, 2}, {0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Answer(ctx, [][]int{{0}, {9}}); err == nil {
+		t.Fatal("bad batch should fail")
+	}
+	s := reg.Snapshot()
+	if s.Counters[MetricQueries] != 5 {
+		t.Errorf("%s = %d, want 5", MetricQueries, s.Counters[MetricQueries])
+	}
+	if s.Counters[MetricErrors] != 1 {
+		t.Errorf("%s = %d, want 1 (errors count batches)", MetricErrors, s.Counters[MetricErrors])
+	}
+	if h := s.Histograms[MetricLatency]; h.Count != 2 {
+		t.Errorf("latency count = %d, want 2 (one per batch)", h.Count)
+	}
+	if h := s.Histograms[MetricSubsetSize]; h.Count != 5 || h.Sum != 1+2+3+1+1 {
+		t.Errorf("subset-size count/sum = %d/%d, want 5/8", h.Count, h.Sum)
+	}
+}
+
+// TestAnswerOutOfRange checks every oracle type rejects out-of-range
 // indices instead of panicking or answering garbage.
-func TestSubsetSumOutOfRange(t *testing.T) {
+func TestAnswerOutOfRange(t *testing.T) {
 	x := []int64{1, 0, 1}
 	rng := rand.New(rand.NewSource(1))
 	oracles := map[string]Oracle{
 		"exact":    &Exact{X: x},
 		"bounded":  &BoundedNoise{X: x, Alpha: 1, Rng: rng},
 		"laplace":  &Laplace{X: x, Eps: 1, Rng: rng},
+		"sticky":   &StickyLaplace{X: x, Eps: 1, Seed: 3},
 		"budgeted": &Budgeted{Inner: &Exact{X: x}, Limit: 10},
 		"instrumented": Instrument(&Exact{X: x},
 			func() *obs.Registry { r := obs.NewRegistry(); r.SetEnabled(true); return r }()),
 	}
 	for name, o := range oracles {
 		for _, q := range [][]int{{0, 3}, {-1}, {0, 1, 2, 99}} {
-			if _, err := o.SubsetSum(q); err == nil {
-				t.Errorf("%s: SubsetSum(%v) should fail", name, q)
+			if _, err := AnswerOne(ctx, o, q); err == nil {
+				t.Errorf("%s: AnswerOne(%v) should fail", name, q)
 			}
 		}
 		// A valid query must still work afterwards.
-		if got, err := o.SubsetSum([]int{0, 2}); err != nil {
+		if got, err := AnswerOne(ctx, o, []int{0, 2}); err != nil {
 			t.Errorf("%s: valid query failed: %v", name, err)
 		} else if got < 2-1.5 || got > 2+3 { // exact answer 2, generous noise margin
-			t.Errorf("%s: SubsetSum([0 2]) = %v, implausibly far from 2", name, got)
+			t.Errorf("%s: AnswerOne([0 2]) = %v, implausibly far from 2", name, got)
 		}
 	}
 }
 
-// TestInstrumentedErrorCounting checks that failed queries land in the
+// TestInstrumentedErrorCounting checks that failed batches land in the
 // error counter, not just the query counter.
 func TestInstrumentedErrorCounting(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.SetEnabled(true)
 	in := Instrument(&Exact{X: []int64{1, 1}}, reg)
-	if _, err := in.SubsetSum([]int{5}); err == nil {
+	if _, err := AnswerOne(ctx, in, []int{5}); err == nil {
 		t.Fatal("expected out-of-range error")
 	}
-	if _, err := in.SubsetSum([]int{0}); err != nil {
+	if _, err := AnswerOne(ctx, in, []int{0}); err != nil {
 		t.Fatalf("valid query failed: %v", err)
 	}
 	s := reg.Snapshot()
@@ -141,7 +170,7 @@ func TestInstrumentedConcurrent(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < perW; i++ {
 				q := RandomSubsets(rng, len(x), 1)[0]
-				if _, err := in.SubsetSum(q); errors.Is(err, ErrBudgetExhausted) {
+				if _, err := AnswerOne(context.Background(), in, q); errors.Is(err, ErrBudgetExhausted) {
 					denials[w]++
 				} else if err != nil {
 					t.Errorf("worker %d: %v", w, err)

@@ -6,10 +6,19 @@
 // query-budget wrapper, and workload generators. Reconstruction attacks
 // (package recon) and the predicate-singling-out experiments (package pso)
 // are written against the Oracle interface, so the same attack code runs
-// against every defense.
+// against every defense — including the networked statistical-query
+// service in query/remote, whose client implements the same interface
+// over HTTP.
+//
+// The interface is batch-first and context-aware: an attack submits its
+// whole workload in one Answer call, which lets a remote oracle amortize
+// round trips and lets a server account, cache and parallelize the batch
+// as one unit. Call sites that genuinely ask one query at a time use the
+// AnswerOne helper.
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,31 +27,72 @@ import (
 	"singlingout/internal/dist"
 )
 
-// ErrBudgetExhausted is returned by a budgeted oracle once the allowed
-// number of queries has been spent.
+// ErrBudgetExhausted is the sentinel for a query refused because the
+// analyst's query budget is spent. Budgeted oracles and the remote client
+// wrap it, so call sites match with errors.Is rather than on error text.
 var ErrBudgetExhausted = errors.New("query: query budget exhausted")
+
+// ErrInvalidQuery is the sentinel for a malformed query: an out-of-range
+// or duplicated index. ValidateQuery (and therefore every built-in
+// oracle, the recon decoders, and the query service's wire boundary)
+// wraps it.
+var ErrInvalidQuery = errors.New("query: invalid query")
 
 // Oracle answers subset-sum queries over a hidden binary dataset.
 type Oracle interface {
-	// SubsetSum returns an estimate of Σ_{i∈q} x_i. Implementations define
-	// their own error guarantee. q must be a well-formed subset query (see
-	// ValidateQuery): the built-in oracles reject out-of-range and
-	// duplicated indices.
-	SubsetSum(q []int) (float64, error)
+	// Answer returns one estimate of Σ_{i∈q} x_i per query, in order.
+	// Implementations define their own error guarantee. Every query must
+	// be a well-formed subset query (see ValidateQuery): the built-in
+	// oracles reject out-of-range and duplicated indices. A batch fails
+	// or succeeds as a unit — on error no answers are returned — and
+	// implementations honor ctx cancellation between queries.
+	Answer(ctx context.Context, queries [][]int) ([]float64, error)
 	// N returns the number of records in the hidden dataset.
 	N() int
 }
 
+// AnswerOne asks a single query — the thin helper for call sites that
+// genuinely issue one query at a time (averaging attacks, diagnostics).
+func AnswerOne(ctx context.Context, o Oracle, q []int) (float64, error) {
+	a, err := o.Answer(ctx, [][]int{q})
+	if err != nil {
+		return 0, err
+	}
+	if len(a) != 1 {
+		return 0, fmt.Errorf("query: oracle returned %d answers for 1 query", len(a))
+	}
+	return a[0], nil
+}
+
+// answerEach is the shared batch loop of the in-process oracles: one
+// answer per query, honoring ctx cancellation between queries.
+func answerEach(ctx context.Context, queries [][]int, one func(q []int) (float64, error)) ([]float64, error) {
+	out := make([]float64, len(queries))
+	for i, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a, err := one(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
 // Exact answers every query with the true sum — the "blatantly non-private"
-// end of the spectrum.
+// end of the spectrum. Safe for concurrent use (it is a pure read).
 type Exact struct {
 	X []int64
 }
 
-// SubsetSum implements Oracle with zero error.
-func (e *Exact) SubsetSum(q []int) (float64, error) {
-	s, err := trueSum(e.X, q)
-	return float64(s), err
+// Answer implements Oracle with zero error.
+func (e *Exact) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	return answerEach(ctx, queries, func(q []int) (float64, error) {
+		s, err := trueSum(e.X, q)
+		return float64(s), err
+	})
 }
 
 // N implements Oracle.
@@ -56,13 +106,15 @@ type BoundedNoise struct {
 	Rng   *rand.Rand
 }
 
-// SubsetSum implements Oracle with |answer - truth| <= Alpha.
-func (b *BoundedNoise) SubsetSum(q []int) (float64, error) {
-	s, err := trueSum(b.X, q)
-	if err != nil {
-		return 0, err
-	}
-	return float64(s) + (2*b.Rng.Float64()-1)*b.Alpha, nil
+// Answer implements Oracle with |answer - truth| <= Alpha per query.
+func (b *BoundedNoise) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	return answerEach(ctx, queries, func(q []int) (float64, error) {
+		s, err := trueSum(b.X, q)
+		if err != nil {
+			return 0, err
+		}
+		return float64(s) + (2*b.Rng.Float64()-1)*b.Alpha, nil
+	})
 }
 
 // N implements Oracle.
@@ -78,40 +130,98 @@ type Laplace struct {
 	Rng *rand.Rand
 }
 
-// SubsetSum implements Oracle with Laplace noise.
-func (l *Laplace) SubsetSum(q []int) (float64, error) {
-	s, err := trueSum(l.X, q)
-	if err != nil {
-		return 0, err
-	}
-	return float64(s) + dist.Laplace(l.Rng, 1/l.Eps), nil
+// Answer implements Oracle with fresh Laplace noise per query.
+func (l *Laplace) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	return answerEach(ctx, queries, func(q []int) (float64, error) {
+		s, err := trueSum(l.X, q)
+		if err != nil {
+			return 0, err
+		}
+		return float64(s) + dist.Laplace(l.Rng, 1/l.Eps), nil
+	})
 }
 
 // N implements Oracle.
 func (l *Laplace) N() int { return len(l.X) }
 
-// Budgeted wraps an oracle and fails after Limit queries, modeling the
-// "limit the number of queries" defense discussed alongside Theorem 1.1.
-// The budget accounting is atomic, so a Budgeted oracle may be shared by
-// concurrent attackers (provided the inner oracle tolerates concurrency).
+// StickyLaplace answers with the true sum plus Laplace(1/Eps) noise that
+// is a deterministic function of (Seed, query set) — the "same query,
+// same answer" behavior of deployed statistical-query systems, which
+// blocks averaging attacks and makes answers cacheable. The noise is
+// order-independent in the query's indices, so {2,0} and {0,2} get the
+// same answer. Unlike Laplace it holds no mutable state, so it is safe
+// for concurrent use; the query service's laplace backend is built on it.
+type StickyLaplace struct {
+	X    []int64
+	Eps  float64
+	Seed int64
+}
+
+// Answer implements Oracle with sticky per-query Laplace noise.
+func (s *StickyLaplace) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	return answerEach(ctx, queries, func(q []int) (float64, error) {
+		sum, err := trueSum(s.X, q)
+		if err != nil {
+			return 0, err
+		}
+		rng := rand.New(rand.NewSource(StickySeed(s.Seed, q)))
+		return float64(sum) + dist.Laplace(rng, 1/s.Eps), nil
+	})
+}
+
+// N implements Oracle.
+func (s *StickyLaplace) N() int { return len(s.X) }
+
+// StickySeed derives a deterministic per-query-set noise seed from a base
+// seed and a query: a commutative mix of per-index hashes, so the seed
+// depends only on the set of indices, never their order.
+func StickySeed(seed int64, q []int) int64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	var mix uint64
+	for _, i := range q {
+		x := (uint64(i) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+		x ^= x >> 31
+		x *= 0x94d049bb133111eb
+		mix += x
+	}
+	return int64(h ^ mix)
+}
+
+// Budgeted wraps an oracle and fails once Limit queries are spent,
+// modeling the "limit the number of queries" defense discussed alongside
+// Theorem 1.1. A batch is debited as a unit: if the remaining budget
+// cannot cover the whole batch, nothing is debited and the batch is
+// refused with ErrBudgetExhausted; if the inner oracle then fails, the
+// reservation is refunded (refused queries were never answered). The
+// accounting is atomic, so a Budgeted oracle may be shared by concurrent
+// attackers (provided the inner oracle tolerates concurrency).
 type Budgeted struct {
 	Inner Oracle
 	Limit int
 	used  atomic.Int64
 }
 
-// SubsetSum implements Oracle, debiting one query from the budget.
-func (b *Budgeted) SubsetSum(q []int) (float64, error) {
+// Answer implements Oracle, debiting the whole batch from the budget.
+func (b *Budgeted) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	k := int64(len(queries))
+	if k == 0 {
+		return []float64{}, nil
+	}
 	for {
 		u := b.used.Load()
-		if u >= int64(b.Limit) {
-			return 0, ErrBudgetExhausted
+		if u+k > int64(b.Limit) {
+			return nil, fmt.Errorf("batch of %d with %d of %d spent: %w", k, u, b.Limit, ErrBudgetExhausted)
 		}
-		if b.used.CompareAndSwap(u, u+1) {
+		if b.used.CompareAndSwap(u, u+k) {
 			break
 		}
 	}
-	return b.Inner.SubsetSum(q)
+	a, err := b.Inner.Answer(ctx, queries)
+	if err != nil {
+		b.used.Add(-k)
+		return nil, err
+	}
+	return a, nil
 }
 
 // N implements Oracle.
@@ -128,18 +238,20 @@ func (b *Budgeted) Used() int { return int(b.used.Load()) }
 // twice while the attacks' candidate evaluations (e.g. the bitmask scan in
 // recon.Exhaustive) collapsed it to one, so attacker and oracle silently
 // disagreed on what the query meant. Both sides now call ValidateQuery and
-// fail identically.
+// fail identically, as does the query service's wire boundary — a
+// malformed query over HTTP is rejected before it reaches any oracle.
+// Failures wrap ErrInvalidQuery.
 func ValidateQuery(n int, q []int) error {
 	if len(q) <= smallQuery {
 		// Quadratic scan: cheaper than allocating for the short queries the
 		// adaptive attacks issue.
 		for j, i := range q {
 			if i < 0 || i >= n {
-				return fmt.Errorf("query: index %d outside dataset of size %d", i, n)
+				return fmt.Errorf("%w: index %d outside dataset of size %d", ErrInvalidQuery, i, n)
 			}
 			for _, prev := range q[:j] {
 				if prev == i {
-					return fmt.Errorf("query: duplicate index %d (a query is a subset of [n])", i)
+					return fmt.Errorf("%w: duplicate index %d (a query is a subset of [n])", ErrInvalidQuery, i)
 				}
 			}
 		}
@@ -148,10 +260,10 @@ func ValidateQuery(n int, q []int) error {
 	seen := make([]bool, n)
 	for _, i := range q {
 		if i < 0 || i >= n {
-			return fmt.Errorf("query: index %d outside dataset of size %d", i, n)
+			return fmt.Errorf("%w: index %d outside dataset of size %d", ErrInvalidQuery, i, n)
 		}
 		if seen[i] {
-			return fmt.Errorf("query: duplicate index %d (a query is a subset of [n])", i)
+			return fmt.Errorf("%w: duplicate index %d (a query is a subset of [n])", ErrInvalidQuery, i)
 		}
 		seen[i] = true
 	}
@@ -211,19 +323,21 @@ func AllSubsets(n int) [][]int {
 }
 
 // MaxError reports the largest absolute deviation of the oracle's answers
-// from the true sums over the given workload. It is the empirical α.
-func MaxError(o Oracle, x []int64, queries [][]int) (float64, error) {
+// from the true sums over the given workload. It is the empirical α. The
+// workload is submitted as one batch, so a budgeted oracle that cannot
+// cover it fails with ErrBudgetExhausted.
+func MaxError(ctx context.Context, o Oracle, x []int64, queries [][]int) (float64, error) {
+	answers, err := o.Answer(ctx, queries)
+	if err != nil {
+		return 0, err
+	}
 	worst := 0.0
-	for _, q := range queries {
-		a, err := o.SubsetSum(q)
-		if err != nil {
-			return 0, err
-		}
+	for qi, q := range queries {
 		s, err := trueSum(x, q)
 		if err != nil {
 			return 0, err
 		}
-		if d := abs(a - float64(s)); d > worst {
+		if d := abs(answers[qi] - float64(s)); d > worst {
 			worst = d
 		}
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -9,25 +10,54 @@ import (
 	"singlingout/internal/synth"
 )
 
+var ctx = context.Background()
+
 func TestExactOracle(t *testing.T) {
 	x := []int64{1, 0, 1, 1, 0}
 	o := &Exact{X: x}
 	if o.N() != 5 {
 		t.Fatalf("N = %d", o.N())
 	}
-	got, err := o.SubsetSum([]int{0, 2, 3})
+	got, err := AnswerOne(ctx, o, []int{0, 2, 3})
 	if err != nil || got != 3 {
-		t.Errorf("SubsetSum = %v, %v", got, err)
+		t.Errorf("AnswerOne = %v, %v", got, err)
 	}
-	got, err = o.SubsetSum(nil)
+	got, err = AnswerOne(ctx, o, nil)
 	if err != nil || got != 0 {
 		t.Errorf("empty query = %v, %v", got, err)
 	}
-	if _, err := o.SubsetSum([]int{5}); err == nil {
-		t.Error("out-of-range index should fail")
+	if _, err := AnswerOne(ctx, o, []int{5}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("out-of-range index: want ErrInvalidQuery, got %v", err)
 	}
-	if _, err := o.SubsetSum([]int{-1}); err == nil {
-		t.Error("negative index should fail")
+	if _, err := AnswerOne(ctx, o, []int{-1}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("negative index: want ErrInvalidQuery, got %v", err)
+	}
+}
+
+func TestExactOracleBatch(t *testing.T) {
+	o := &Exact{X: []int64{1, 0, 1, 1, 0}}
+	got, err := o.Answer(ctx, [][]int{{0}, {0, 2, 3}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("answers[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A batch fails as a unit: one bad query, no answers.
+	if _, err := o.Answer(ctx, [][]int{{0}, {9}}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("bad batch: want ErrInvalidQuery, got %v", err)
+	}
+}
+
+func TestAnswerHonorsContext(t *testing.T) {
+	o := &Exact{X: []int64{1, 0, 1}}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.Answer(cancelled, [][]int{{0}}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: got %v", err)
 	}
 }
 
@@ -38,11 +68,11 @@ func TestBoundedNoiseWithinAlpha(t *testing.T) {
 	exact := &Exact{X: x}
 	for trial := 0; trial < 500; trial++ {
 		q := RandomSubsets(rng, 100, 1)[0]
-		noisy, err := o.SubsetSum(q)
+		noisy, err := AnswerOne(ctx, o, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		truth, _ := exact.SubsetSum(q)
+		truth, _ := AnswerOne(ctx, exact, q)
 		if math.Abs(noisy-truth) > 3 {
 			t.Fatalf("noise exceeded alpha: %v vs %v", noisy, truth)
 		}
@@ -55,11 +85,11 @@ func TestLaplaceOracleNoiseScale(t *testing.T) {
 	o := &Laplace{X: x, Eps: 0.5, Rng: rng}
 	exact := &Exact{X: x}
 	q := RandomSubsets(rng, 50, 1)[0]
-	truth, _ := exact.SubsetSum(q)
+	truth, _ := AnswerOne(ctx, exact, q)
 	var sumAbs float64
 	const trials = 50000
 	for i := 0; i < trials; i++ {
-		a, err := o.SubsetSum(q)
+		a, err := AnswerOne(ctx, o, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,6 +101,52 @@ func TestLaplaceOracleNoiseScale(t *testing.T) {
 	}
 }
 
+func TestStickyLaplace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := synth.BinaryDataset(rng, 60, 0.5)
+	o := &StickyLaplace{X: x, Eps: 0.5, Seed: 7}
+	q := []int{0, 3, 7, 9, 12, 20}
+	first, err := AnswerOne(ctx, o, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sticky: the same query set always gets the same answer, in any
+	// index order.
+	for i := 0; i < 5; i++ {
+		if a, _ := AnswerOne(ctx, o, q); a != first {
+			t.Fatalf("sticky noise broken: %v != %v", a, first)
+		}
+	}
+	if a, _ := AnswerOne(ctx, o, []int{20, 12, 9, 7, 3, 0}); a != first {
+		t.Error("sticky noise should be order-independent in the query set")
+	}
+	// A different query set (almost surely) gets different noise.
+	if a, _ := AnswerOne(ctx, o, []int{0, 3, 7, 9, 12, 21}); a == first {
+		t.Error("distinct queries returned identical answers (suspicious)")
+	}
+	// Different seeds decorrelate answers to the same query.
+	o2 := &StickyLaplace{X: x, Eps: 0.5, Seed: 8}
+	if a, _ := AnswerOne(ctx, o2, q); a == first {
+		t.Error("different seeds returned identical noise")
+	}
+	// The noise has the advertised Laplace scale across many distinct
+	// queries: E|Lap(1/eps)| = 2.
+	exact := &Exact{X: x}
+	qs := RandomSubsets(rng, 60, 4000)
+	noisy, err := o.Answer(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths, _ := exact.Answer(ctx, qs)
+	var sumAbs float64
+	for i := range qs {
+		sumAbs += math.Abs(noisy[i] - truths[i])
+	}
+	if got := sumAbs / float64(len(qs)); math.Abs(got-2) > 0.25 {
+		t.Errorf("mean |sticky noise| = %v, want ~2", got)
+	}
+}
+
 func TestBudgetedOracle(t *testing.T) {
 	x := []int64{1, 1}
 	b := &Budgeted{Inner: &Exact{X: x}, Limit: 2}
@@ -78,15 +154,46 @@ func TestBudgetedOracle(t *testing.T) {
 		t.Fatalf("N = %d", b.N())
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := b.SubsetSum([]int{0}); err != nil {
+		if _, err := AnswerOne(ctx, b, []int{0}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := b.SubsetSum([]int{0}); !errors.Is(err, ErrBudgetExhausted) {
+	if _, err := AnswerOne(ctx, b, []int{0}); !errors.Is(err, ErrBudgetExhausted) {
 		t.Errorf("expected budget exhaustion, got %v", err)
 	}
 	if b.Used() != 2 {
 		t.Errorf("Used = %d", b.Used())
+	}
+}
+
+func TestBudgetedBatchAllOrNothing(t *testing.T) {
+	b := &Budgeted{Inner: &Exact{X: []int64{1, 1, 0}}, Limit: 5}
+	// A batch larger than the remaining budget is refused whole and debits
+	// nothing.
+	big := [][]int{{0}, {1}, {2}, {0, 1}, {1, 2}, {0, 2}}
+	if _, err := b.Answer(ctx, big); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("oversized batch: want ErrBudgetExhausted, got %v", err)
+	}
+	if b.Used() != 0 {
+		t.Fatalf("refused batch debited budget: Used = %d", b.Used())
+	}
+	// A batch the inner oracle rejects is refunded.
+	if _, err := b.Answer(ctx, [][]int{{0}, {99}}); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("invalid batch: want ErrInvalidQuery, got %v", err)
+	}
+	if b.Used() != 0 {
+		t.Fatalf("failed batch kept its reservation: Used = %d", b.Used())
+	}
+	// A fitting batch spends exactly its size.
+	if _, err := b.Answer(ctx, big[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Used() != 5 {
+		t.Fatalf("Used = %d, want 5", b.Used())
+	}
+	// The empty batch is free.
+	if _, err := b.Answer(ctx, nil); err != nil {
+		t.Fatalf("empty batch should succeed: %v", err)
 	}
 }
 
@@ -142,20 +249,21 @@ func TestMaxError(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	x := synth.BinaryDataset(rng, 64, 0.5)
 	queries := RandomSubsets(rng, 64, 200)
-	exactErr, err := MaxError(&Exact{X: x}, x, queries)
+	exactErr, err := MaxError(ctx, &Exact{X: x}, x, queries)
 	if err != nil || exactErr != 0 {
 		t.Errorf("exact oracle max error = %v, %v", exactErr, err)
 	}
-	noisyErr, err := MaxError(&BoundedNoise{X: x, Alpha: 2, Rng: rng}, x, queries)
+	noisyErr, err := MaxError(ctx, &BoundedNoise{X: x, Alpha: 2, Rng: rng}, x, queries)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if noisyErr <= 0 || noisyErr > 2 {
 		t.Errorf("bounded oracle max error = %v, want in (0,2]", noisyErr)
 	}
-	// Budget exhaustion propagates.
+	// Budget exhaustion propagates: the workload is one batch of 200
+	// against a budget of 10.
 	b := &Budgeted{Inner: &Exact{X: x}, Limit: 10}
-	if _, err := MaxError(b, x, queries); !errors.Is(err, ErrBudgetExhausted) {
+	if _, err := MaxError(ctx, b, x, queries); !errors.Is(err, ErrBudgetExhausted) {
 		t.Errorf("expected budget error, got %v", err)
 	}
 }
@@ -174,13 +282,14 @@ func TestDuplicateIndexRejected(t *testing.T) {
 		&Exact{X: x},
 		&BoundedNoise{X: x, Alpha: 1, Rng: rng},
 		&Laplace{X: x, Eps: 1, Rng: rng},
+		&StickyLaplace{X: x, Eps: 1, Seed: 1},
 		&Budgeted{Inner: &Exact{X: x}, Limit: 100},
 	} {
-		if _, err := o.SubsetSum(dup); err == nil {
-			t.Errorf("%T: duplicate-index query should fail", o)
+		if _, err := AnswerOne(ctx, o, dup); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("%T: duplicate-index query should fail with ErrInvalidQuery, got %v", o, err)
 		}
 		// The same oracle still answers the deduplicated query.
-		if _, err := o.SubsetSum([]int{0, 2}); err != nil {
+		if _, err := AnswerOne(ctx, o, []int{0, 2}); err != nil {
 			t.Errorf("%T: valid query failed: %v", o, err)
 		}
 	}
@@ -194,8 +303,8 @@ func TestValidateQuery(t *testing.T) {
 		t.Errorf("empty query rejected: %v", err)
 	}
 	for _, bad := range [][]int{{5}, {-1}, {0, 0}, {1, 2, 3, 1}} {
-		if err := ValidateQuery(5, bad); err == nil {
-			t.Errorf("ValidateQuery(5, %v) should fail", bad)
+		if err := ValidateQuery(5, bad); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("ValidateQuery(5, %v) should fail with ErrInvalidQuery, got %v", bad, err)
 		}
 	}
 	// Exercise the large-query bitmap path (len > smallQuery).
@@ -207,7 +316,7 @@ func TestValidateQuery(t *testing.T) {
 		t.Errorf("valid large query rejected: %v", err)
 	}
 	big[19] = 3 // duplicate
-	if err := ValidateQuery(25, big); err == nil {
-		t.Error("large duplicate query should fail")
+	if err := ValidateQuery(25, big); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("large duplicate query should fail with ErrInvalidQuery, got %v", err)
 	}
 }

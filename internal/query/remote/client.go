@@ -1,0 +1,220 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"singlingout/internal/diffix"
+	"singlingout/internal/query"
+)
+
+// Options configures a client Oracle. The zero value is usable: exact
+// backend, anonymous analyst, server-advertised batch limit, 3 retries
+// with 50ms initial backoff, http.DefaultClient.
+type Options struct {
+	// Backend selects the server oracle: "exact", "laplace" or "diffix".
+	Backend string
+	// Analyst is the budget-accounting identity sent with every batch.
+	Analyst string
+	// MaxBatch caps queries per HTTP request (chunking larger Answer
+	// calls); 0 means the server's advertised max_batch.
+	MaxBatch int
+	// Retries is how many times a transient failure (network error or
+	// 5xx) is retried per chunk; 0 means 3. Negative disables retries.
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt; 0 means
+	// 50ms.
+	Backoff time.Duration
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+}
+
+// Oracle is the client side of the query service: a query.Oracle whose
+// Answer travels over HTTP. Attacks in package recon and the experiment
+// harnesses run against it exactly as against an in-process oracle; the
+// network, batching, retry and budget semantics live here.
+type Oracle struct {
+	base string
+	opts Options
+	meta Meta
+}
+
+// Dial fetches baseURL/v1/meta and returns an Oracle bound to that
+// server. It fails fast on an unreachable server or a wire-version
+// mismatch.
+func Dial(ctx context.Context, baseURL string, opts Options) (*Oracle, error) {
+	if opts.Backend == "" {
+		opts.Backend = "exact"
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	o := &Oracle{base: baseURL, opts: opts}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/meta", nil)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dialing query server: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote: meta returned %s", resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&o.meta); err != nil {
+		return nil, fmt.Errorf("remote: undecodable meta: %w", err)
+	}
+	if o.meta.V != V {
+		return nil, fmt.Errorf("remote: server speaks wire version %d, client speaks %d", o.meta.V, V)
+	}
+	if o.meta.N <= 0 {
+		return nil, fmt.Errorf("remote: server advertises dataset size %d", o.meta.N)
+	}
+	if opts.MaxBatch <= 0 || opts.MaxBatch > o.meta.MaxBatch {
+		o.opts.MaxBatch = o.meta.MaxBatch
+	}
+	return o, nil
+}
+
+// Meta returns the server's advertised metadata (dataset seed/size,
+// backends, budget).
+func (o *Oracle) Meta() Meta { return o.meta }
+
+// N implements query.Oracle.
+func (o *Oracle) N() int { return o.meta.N }
+
+// Answer implements query.Oracle: the batch is chunked to the negotiated
+// batch limit and submitted as POST /v1/query/{backend} requests.
+// Transient failures (network errors, 5xx) are retried with exponential
+// backoff; refusals come back as the repository's sentinel errors —
+// errors.Is(err, query.ErrBudgetExhausted) on an exhausted budget,
+// query.ErrInvalidQuery on a malformed query, diffix.ErrSuppressed on
+// low-count suppression — so attack code handles remote and in-process
+// oracles identically.
+func (o *Oracle) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
+	out := make([]float64, 0, len(queries))
+	for start := 0; start < len(queries); start += o.opts.MaxBatch {
+		end := start + o.opts.MaxBatch
+		if end > len(queries) {
+			end = len(queries)
+		}
+		answers, err := o.submit(ctx, queries[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, answers...)
+	}
+	if len(queries) == 0 {
+		return []float64{}, nil
+	}
+	return out, nil
+}
+
+// submit POSTs one chunk, retrying transient failures.
+func (o *Oracle) submit(ctx context.Context, chunk [][]int) ([]float64, error) {
+	body, err := json.Marshal(QueryRequest{V: V, Analyst: o.opts.Analyst, Queries: chunk})
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		answers, retryable, err := o.post(ctx, body, len(chunk))
+		if err == nil {
+			return answers, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= o.opts.Retries {
+			return nil, lastErr
+		}
+		delay := o.opts.Backoff << uint(attempt)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// post performs one HTTP attempt. retryable marks transient failures
+// (network errors and 5xx); 4xx refusals are mapped to sentinels and
+// never retried — resubmitting an over-budget batch cannot succeed.
+func (o *Oracle) post(ctx context.Context, body []byte, want int) (answers []float64, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		o.base+"/v1/query/"+o.opts.Backend, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("remote: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := o.opts.Client.Do(req)
+	if err != nil {
+		return nil, true, fmt.Errorf("remote: query server unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, true, fmt.Errorf("remote: reading response: %w", err)
+	}
+	if resp.StatusCode >= 500 {
+		return nil, true, fmt.Errorf("remote: server error %s: %s", resp.Status, errMessage(payload))
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, refusalError(resp.StatusCode, payload)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(payload, &qr); err != nil {
+		return nil, false, fmt.Errorf("remote: undecodable response: %w", err)
+	}
+	if qr.V != V {
+		return nil, false, fmt.Errorf("remote: response wire version %d, want %d", qr.V, V)
+	}
+	if len(qr.Answers) != want {
+		return nil, false, fmt.Errorf("remote: %d answers for %d queries", len(qr.Answers), want)
+	}
+	return qr.Answers, false, nil
+}
+
+// refusalError maps a 4xx ErrorResponse to the repository's sentinel
+// errors where one exists.
+func refusalError(status int, payload []byte) error {
+	var er ErrorResponse
+	if json.Unmarshal(payload, &er) != nil || er.Err.Code == "" {
+		return fmt.Errorf("remote: server refused with status %d: %s", status, payload)
+	}
+	switch er.Err.Code {
+	case CodeBudgetExhausted:
+		return fmt.Errorf("remote: %s: %w", er.Err.Message, query.ErrBudgetExhausted)
+	case CodeInvalidQuery:
+		return fmt.Errorf("remote: %s: %w", er.Err.Message, query.ErrInvalidQuery)
+	case CodeSuppressed:
+		return fmt.Errorf("remote: %s: %w", er.Err.Message, diffix.ErrSuppressed)
+	default:
+		return fmt.Errorf("remote: server refused (%s): %s", er.Err.Code, er.Err.Message)
+	}
+}
+
+func errMessage(payload []byte) string {
+	var er ErrorResponse
+	if json.Unmarshal(payload, &er) == nil && er.Err.Code != "" {
+		return er.Err.Code + ": " + er.Err.Message
+	}
+	if len(payload) > 200 {
+		payload = payload[:200]
+	}
+	return string(payload)
+}
+
+var _ query.Oracle = (*Oracle)(nil)

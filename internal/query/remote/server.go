@@ -1,0 +1,370 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"singlingout/internal/diffix"
+	"singlingout/internal/obs"
+	"singlingout/internal/par"
+	"singlingout/internal/query"
+)
+
+// Metric names recorded by the server into its registry.
+const (
+	MetricRequests     = "qserver.requests"
+	MetricBatchQueries = "qserver.batch_queries"
+	MetricCacheHits    = "qserver.cache_hits"
+	MetricCacheMisses  = "qserver.cache_misses"
+	MetricBudgetDenied = "qserver.budget_denied"
+	MetricErrors       = "qserver.errors"
+	MetricLatency      = "qserver.latency_ns"
+	MetricCacheSize    = "qserver.cache_size"
+)
+
+// ServerConfig configures a query server. The dataset is generated, not
+// supplied: X = Dataset(Seed, N, P), so the /v1/meta the server advertises
+// is consistent with its answers by construction.
+type ServerConfig struct {
+	N    int     // dataset size
+	Seed int64   // dataset + sticky-noise seed
+	P    float64 // Bernoulli parameter of the protected bit
+
+	Eps       float64 // laplace backend: per-query epsilon
+	SD        float64 // diffix backend: sticky noise standard deviation
+	Threshold int     // diffix backend: low-count suppression bound
+
+	Budget        int // per-analyst fresh-query budget, 0 = unlimited
+	MaxBatch      int // largest accepted batch, 0 = default 4096
+	MaxConcurrent int // concurrent request bound, 0 = default 16
+	Workers       int // pool workers per fresh sub-batch, 0 = GOMAXPROCS
+
+	Registry *obs.Registry // nil = obs.Default()
+	Journal  *obs.Journal  // nil = no journal events
+}
+
+// Server answers statistical queries over HTTP. It owns the only copy of
+// the dataset; analysts see nothing but noisy (or exact, for the
+// calibration backend) counting-query answers, per-analyst budget
+// accounting, and an answer cache that makes repeated queries free — the
+// reference architecture the paper's attacks are aimed at.
+type Server struct {
+	cfg      ServerConfig
+	x        []int64
+	backends map[string]query.Oracle
+	names    []string
+	gate     *par.Gate
+	mux      *http.ServeMux
+
+	mu     sync.Mutex
+	cache  map[string]float64 // "<backend>|<canonical query>" -> answer
+	budget map[string]int     // analyst -> fresh queries spent
+
+	requests     *obs.Counter
+	batchQueries *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	budgetDenied *obs.Counter
+	errs         *obs.Counter
+	latency      *obs.Histogram
+	cacheSize    *obs.Gauge
+}
+
+// NewServer builds a Server from cfg, generating the dataset and the
+// exact/laplace/diffix backends over it.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("remote: server needs a positive dataset size, got %d", cfg.N)
+	}
+	if cfg.P <= 0 || cfg.P >= 1 {
+		return nil, fmt.Errorf("remote: P must be in (0,1), got %v", cfg.P)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 16
+	}
+	if cfg.Eps <= 0 {
+		cfg.Eps = 1
+	}
+	if cfg.SD <= 0 {
+		cfg.SD = 1.5
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 8
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	x := Dataset(cfg.Seed, cfg.N, cfg.P)
+	s := &Server{
+		cfg: cfg,
+		x:   x,
+		backends: map[string]query.Oracle{
+			"exact":   &query.Exact{X: x},
+			"laplace": &query.StickyLaplace{X: x, Eps: cfg.Eps, Seed: cfg.Seed},
+			"diffix":  &diffix.Cloak{X: x, SD: cfg.SD, Threshold: cfg.Threshold, Seed: cfg.Seed},
+		},
+		gate:   par.NewGate(cfg.MaxConcurrent),
+		cache:  make(map[string]float64),
+		budget: make(map[string]int),
+
+		requests:     reg.Counter(MetricRequests),
+		batchQueries: reg.Counter(MetricBatchQueries),
+		cacheHits:    reg.Counter(MetricCacheHits),
+		cacheMisses:  reg.Counter(MetricCacheMisses),
+		budgetDenied: reg.Counter(MetricBudgetDenied),
+		errs:         reg.Counter(MetricErrors),
+		latency:      reg.Histogram(MetricLatency),
+		cacheSize:    reg.Gauge(MetricCacheSize),
+	}
+	for name := range s.backends {
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/meta", s.handleMeta)
+	s.mux.HandleFunc("/v1/query/", s.handleQuery)
+	return s, nil
+}
+
+// Handler returns the /v1/* HTTP handler. Mount it alongside the obs
+// serve.Server handler to get /metrics, /snapshot, /healthz and /journal
+// on the same listener (see cmd/qserver).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Meta returns what GET /v1/meta serves.
+func (s *Server) Meta() Meta {
+	return Meta{
+		V:        V,
+		N:        s.cfg.N,
+		Seed:     s.cfg.Seed,
+		P:        s.cfg.P,
+		Backends: append([]string(nil), s.names...),
+		Budget:   s.cfg.Budget,
+		MaxBatch: s.cfg.MaxBatch,
+	}
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "GET only")
+		return
+	}
+	s.requests.Add(1)
+	writeJSON(w, http.StatusOK, s.Meta())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sp := s.latency.Span()
+	defer sp.End()
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		return
+	}
+	ctx := r.Context()
+	if err := s.gate.Enter(ctx); err != nil {
+		s.fail(w, http.StatusServiceUnavailable, CodeInternal, "cancelled while waiting for a slot")
+		return
+	}
+	defer s.gate.Leave()
+
+	name := strings.TrimPrefix(r.URL.Path, "/v1/query/")
+	backend, ok := s.backends[name]
+	if !ok {
+		s.fail(w, http.StatusNotFound, CodeUnknownBackend, fmt.Sprintf("no backend %q (have %s)", name, strings.Join(s.names, ", ")))
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, "undecodable body: "+err.Error())
+		return
+	}
+	if req.V != V {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("wire version %d, server speaks %d", req.V, V))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("batch of %d exceeds max_batch %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	analyst := req.Analyst
+	if analyst == "" {
+		analyst = "anon"
+	}
+	s.batchQueries.Add(int64(len(req.Queries)))
+
+	// Canonicalize at the trust boundary: every query becomes a sorted
+	// copy and is validated once, here — the single place duplicate
+	// indices and out-of-range users are rejected for the whole service
+	// (backends still re-check, but no malformed query reaches them).
+	keys := make([]string, len(req.Queries))
+	canon := make([][]int, len(req.Queries))
+	for i, q := range req.Queries {
+		cq := append([]int(nil), q...)
+		sort.Ints(cq)
+		if err := query.ValidateQuery(s.cfg.N, cq); err != nil {
+			s.fail(w, http.StatusBadRequest, CodeInvalidQuery, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		canon[i] = cq
+		keys[i] = queryKey(name, cq)
+	}
+
+	// Cache pass under the lock: split the batch into hits and distinct
+	// misses, and reserve budget for the misses all-or-nothing. Only
+	// fresh (uncached) queries spend budget — asking again is free.
+	type missT struct {
+		key string
+		q   []int
+	}
+	var misses []missT
+	seen := make(map[string]bool)
+	cached := 0
+	s.mu.Lock()
+	for i, k := range keys {
+		if _, ok := s.cache[k]; ok {
+			cached++
+			continue
+		}
+		if !seen[k] {
+			seen[k] = true
+			misses = append(misses, missT{k, canon[i]})
+		}
+	}
+	fresh := len(misses)
+	if s.cfg.Budget > 0 {
+		spent := s.budget[analyst]
+		if spent+fresh > s.cfg.Budget {
+			s.mu.Unlock()
+			s.budgetDenied.Add(1)
+			s.journal(name, analyst, len(req.Queries), cached, fresh, CodeBudgetExhausted)
+			s.fail(w, http.StatusTooManyRequests, CodeBudgetExhausted,
+				fmt.Sprintf("analyst %q: %d fresh queries over budget (%d of %d spent)", analyst, fresh, spent, s.cfg.Budget))
+			return
+		}
+		s.budget[analyst] = spent + fresh
+	}
+	s.mu.Unlock()
+	s.cacheHits.Add(int64(cached))
+	s.cacheMisses.Add(int64(fresh))
+
+	// Answer the misses on the pool. The backends are sticky/deterministic
+	// per canonical query, so parallel order does not affect answers.
+	fresh64 := make([]float64, fresh)
+	if err := par.ForEach(s.cfg.Workers, fresh, func(i int) error {
+		a, err := query.AnswerOne(ctx, backend, misses[i].q)
+		if err != nil {
+			return err
+		}
+		fresh64[i] = a
+		return nil
+	}); err != nil {
+		// All-or-nothing: a failed batch spends nothing.
+		s.mu.Lock()
+		if s.cfg.Budget > 0 {
+			s.budget[analyst] -= fresh
+		}
+		s.mu.Unlock()
+		status, code := http.StatusInternalServerError, CodeInternal
+		switch {
+		case errors.Is(err, diffix.ErrSuppressed):
+			status, code = http.StatusUnprocessableEntity, CodeSuppressed
+		case errors.Is(err, query.ErrInvalidQuery):
+			status, code = http.StatusBadRequest, CodeInvalidQuery
+		case errors.Is(err, query.ErrBudgetExhausted):
+			status, code = http.StatusTooManyRequests, CodeBudgetExhausted
+		}
+		s.journal(name, analyst, len(req.Queries), cached, fresh, code)
+		s.fail(w, status, code, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	for i, m := range misses {
+		s.cache[m.key] = fresh64[i]
+	}
+	answers := make([]float64, len(keys))
+	for i, k := range keys {
+		answers[i] = s.cache[k]
+	}
+	remaining := -1
+	if s.cfg.Budget > 0 {
+		remaining = s.cfg.Budget - s.budget[analyst]
+	}
+	s.cacheSize.Set(float64(len(s.cache)))
+	s.mu.Unlock()
+
+	s.journal(name, analyst, len(req.Queries), cached, fresh, "")
+	writeJSON(w, http.StatusOK, QueryResponse{V: V, Answers: answers, Cached: cached, BudgetRemaining: remaining})
+}
+
+// journal emits one run-journal event per query batch (when a journal is
+// configured): which backend, how much was cached vs freshly spent, and
+// the refusal code if the batch was refused.
+func (s *Server) journal(backend, analyst string, queries, cached, fresh int, code string) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	e := obs.Event{
+		Phase: "query_batch",
+		ID:    backend,
+		Seed:  s.cfg.Seed,
+		Sizes: map[string]int{"queries": queries, "cached": cached, "fresh": fresh},
+	}
+	if code != "" {
+		e.Error = code
+	}
+	_ = s.cfg.Journal.Emit(e)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	s.errs.Add(1)
+	writeJSON(w, status, ErrorResponse{V: V, Err: ErrorBody{Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// queryKey is the answer-cache key: backend name plus the canonical
+// (sorted) index set.
+func queryKey(backend string, canonical []int) string {
+	var b strings.Builder
+	b.WriteString(backend)
+	b.WriteByte('|')
+	for i, v := range canonical {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// BudgetSpent reports the fresh queries an analyst has spent (test and
+// telemetry hook).
+func (s *Server) BudgetSpent(analyst string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget[analyst]
+}
+
+// CacheLen reports the answer-cache population.
+func (s *Server) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}

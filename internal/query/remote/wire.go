@@ -1,0 +1,89 @@
+// Package remote puts the statistical-query interface on the network: a
+// qserver-side HTTP handler exposing counting/subset-sum oracles over a
+// loaded synthetic dataset, and a client-side Oracle implementing
+// query.Oracle over HTTP, so every reconstruction attack in the
+// repository runs unchanged against a remote curator. This is the paper's
+// actual threat model — the Census Bureau, a Diffix deployment, any
+// "query answering system" is a service, not an in-process struct — and
+// the per-analyst budget accounting, answer caching and suppression
+// behavior all live on the trusted side of the wire.
+package remote
+
+import (
+	"math/rand"
+
+	"singlingout/internal/synth"
+)
+
+// V is the wire schema version. Every request and response carries it as
+// "v"; a mismatch is rejected with code "bad_request" so incompatible
+// clients fail loudly instead of misinterpreting fields.
+const V = 1
+
+// Error codes carried in ErrorResponse. The client maps the first three
+// back to the repository's sentinel errors (query.ErrInvalidQuery,
+// query.ErrBudgetExhausted, diffix.ErrSuppressed).
+const (
+	CodeInvalidQuery    = "invalid_query"    // 400: malformed subset query
+	CodeBudgetExhausted = "budget_exhausted" // 429: analyst budget would be exceeded
+	CodeSuppressed      = "suppressed"       // 422: low-count suppression refused the batch
+	CodeUnknownBackend  = "unknown_backend"  // 404: no such oracle endpoint
+	CodeBadRequest      = "bad_request"      // 400: undecodable body, version mismatch, oversized batch
+	CodeInternal        = "internal"         // 500: server-side failure
+)
+
+// QueryRequest is the body of POST /v1/query/{backend}: a batch of subset
+// queries from one analyst. Queries need not be sorted; the server
+// canonicalizes (sorts) each index set before validation, caching and
+// noise derivation.
+type QueryRequest struct {
+	V       int     `json:"v"`
+	Analyst string  `json:"analyst,omitempty"`
+	Queries [][]int `json:"queries"`
+}
+
+// QueryResponse answers a QueryRequest: one answer per query in request
+// order. Cached counts the queries served from the answer cache (which do
+// not spend budget); BudgetRemaining is the analyst's remaining budget
+// after this batch, or -1 when the server enforces no budget.
+type QueryResponse struct {
+	V               int       `json:"v"`
+	Answers         []float64 `json:"answers"`
+	Cached          int       `json:"cached"`
+	BudgetRemaining int       `json:"budget_remaining"`
+}
+
+// Meta is the body of GET /v1/meta: everything a client needs to run an
+// attack. Seed/N/P let an evaluation harness regenerate the dataset
+// locally (remote.Dataset) to score reconstructions without the server
+// ever shipping the raw bits over a query endpoint.
+type Meta struct {
+	V        int      `json:"v"`
+	N        int      `json:"n"`
+	Seed     int64    `json:"seed"`
+	P        float64  `json:"p"`
+	Backends []string `json:"backends"`
+	Budget   int      `json:"budget"`    // per-analyst fresh-query budget, 0 = unlimited
+	MaxBatch int      `json:"max_batch"` // largest accepted batch
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	V   int       `json:"v"`
+	Err ErrorBody `json:"error"`
+}
+
+// ErrorBody carries the machine-readable code and the human-readable
+// message of a refusal.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Dataset regenerates the server's dataset from its advertised (seed, n,
+// p). Server and scoring harness both call this, which is what makes
+// remote reconstruction tables byte-identical to in-process ones: the
+// truth is a pure function of the meta, never transmitted.
+func Dataset(seed int64, n int, p float64) []int64 {
+	return synth.BinaryDataset(rand.New(rand.NewSource(seed)), n, p)
+}

@@ -1,6 +1,7 @@
 package recon
 
 import (
+	"context"
 	"fmt"
 
 	"singlingout/internal/query"
@@ -12,20 +13,27 @@ import (
 // fixed per-query epsilon and no budget), the average converges to the
 // true bit — which is exactly why real systems must limit queries,
 // account for budget across queries (dp.Accountant), or make noise sticky
-// (diffix.Cloak, where this attack collects the same answer forever).
-func AveragingAttack(o query.Oracle, repeats int) ([]int64, error) {
+// (diffix.Cloak and query.StickyLaplace, where this attack collects the
+// same answer forever). The repeats for one index are submitted as one
+// batch, so a budgeted oracle that cannot cover them refuses the batch
+// whole.
+func AveragingAttack(ctx context.Context, o query.Oracle, repeats int) ([]int64, error) {
 	if repeats <= 0 {
 		return nil, fmt.Errorf("recon: averaging attack needs positive repeats")
 	}
 	n := o.N()
 	out := make([]int64, n)
+	batch := make([][]int, repeats)
 	for i := 0; i < n; i++ {
+		for r := range batch {
+			batch[r] = []int{i}
+		}
+		answers, err := o.Answer(ctx, batch)
+		if err != nil {
+			return nil, fmt.Errorf("recon: averaging attack: %w", err)
+		}
 		sum := 0.0
-		for r := 0; r < repeats; r++ {
-			a, err := o.SubsetSum([]int{i})
-			if err != nil {
-				return nil, fmt.Errorf("recon: averaging attack: %w", err)
-			}
+		for _, a := range answers {
 			sum += a
 		}
 		if sum/float64(repeats) >= 0.5 {

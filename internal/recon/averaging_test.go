@@ -3,6 +3,7 @@
 package recon_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,13 +13,15 @@ import (
 	"singlingout/internal/synth"
 )
 
+var ctx = context.Background()
+
 func TestAveragingDefeatsFreshNoise(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	x := synth.BinaryDataset(rng, 40, 0.5)
 	// Laplace noise with per-query eps=0.5 and NO budget: 200 repeats
 	// average the noise away.
 	o := &query.Laplace{X: x, Eps: 0.5, Rng: rng}
-	got, err := recon.AveragingAttack(o, 200)
+	got, err := recon.AveragingAttack(ctx, o, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +34,7 @@ func TestAveragingBlockedByBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	x := synth.BinaryDataset(rng, 40, 0.5)
 	o := &query.Budgeted{Inner: &query.Laplace{X: x, Eps: 0.5, Rng: rng}, Limit: 100}
-	if _, err := recon.AveragingAttack(o, 200); err == nil {
+	if _, err := recon.AveragingAttack(ctx, o, 200); err == nil {
 		t.Error("budget should block the averaging attack")
 	}
 }
@@ -43,7 +46,7 @@ func TestAveragingBlockedByStickyNoise(t *testing.T) {
 	// Sticky noise with SD comfortably above 1/2: repeating the query
 	// returns the same wrong answer, so averaging gains nothing.
 	c := &diffix.Cloak{X: x, SD: 2, Threshold: 0, Seed: 9}
-	got, err := recon.AveragingAttack(c, 200)
+	got, err := recon.AveragingAttack(ctx, c, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +56,7 @@ func TestAveragingBlockedByStickyNoise(t *testing.T) {
 }
 
 func TestAveragingValidation(t *testing.T) {
-	if _, err := recon.AveragingAttack(&query.Exact{X: []int64{1}}, 0); err == nil {
+	if _, err := recon.AveragingAttack(ctx, &query.Exact{X: []int64{1}}, 0); err == nil {
 		t.Error("zero repeats should fail")
 	}
 }

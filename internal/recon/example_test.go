@@ -1,6 +1,7 @@
 package recon_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,7 +21,7 @@ func ExampleLPDecode() {
 	oracle := &query.BoundedNoise{X: secret, Alpha: 2, Rng: rng}
 
 	queries := query.RandomSubsets(rng, n, 4*n)
-	reconstructed, _, err := recon.LPDecode(oracle, queries, recon.L1Slack)
+	reconstructed, _, err := recon.LPDecode(context.Background(), oracle, queries, recon.L1Slack)
 	if err != nil {
 		panic(err)
 	}

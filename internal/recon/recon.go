@@ -8,6 +8,7 @@
 package recon
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,20 +45,19 @@ func HammingError(truth, recon []int64) float64 {
 	return float64(wrong) / float64(len(truth))
 }
 
-// Exhaustive mounts the Theorem 1.1(i)-style attack: it collects the
-// oracle's answers on the given workload and searches all 2^n candidate
-// databases for one consistent with every answer to within alpha,
-// returning the first such candidate. It requires n <= 24.
+// Exhaustive mounts the Theorem 1.1(i)-style attack: it submits the whole
+// workload as one oracle batch and searches all 2^n candidate databases
+// for one consistent with every answer to within alpha, returning the
+// first such candidate. It requires n <= 24.
 //
 // The theorem's guarantee: if the oracle's error is at most alpha on every
 // query, the true database is itself consistent, and any consistent
 // candidate can disagree with the truth only on O(alpha) entries.
-func Exhaustive(o query.Oracle, queries [][]int, alpha float64) ([]int64, error) {
+func Exhaustive(ctx context.Context, o query.Oracle, queries [][]int, alpha float64) ([]int64, error) {
 	n := o.N()
 	if n > 24 {
 		return nil, fmt.Errorf("recon: exhaustive attack limited to n <= 24, got %d", n)
 	}
-	answers := make([]float64, len(queries))
 	masks := make([]uint32, len(queries))
 	for qi, q := range queries {
 		// The bitmask candidate evaluation below collapses a repeated index
@@ -68,16 +68,18 @@ func Exhaustive(o query.Oracle, queries [][]int, alpha float64) ([]int64, error)
 		if err := query.ValidateQuery(n, q); err != nil {
 			return nil, fmt.Errorf("recon: %w", err)
 		}
-		a, err := o.SubsetSum(q)
-		if err != nil {
-			return nil, fmt.Errorf("recon: oracle failed: %w", err)
-		}
-		answers[qi] = a
 		var m uint32
 		for _, i := range q {
 			m |= 1 << uint(i)
 		}
 		masks[qi] = m
+	}
+	answers, err := o.Answer(ctx, queries)
+	if err != nil {
+		return nil, fmt.Errorf("recon: oracle failed: %w", err)
+	}
+	if len(answers) != len(queries) {
+		return nil, fmt.Errorf("recon: oracle returned %d answers for %d queries", len(answers), len(queries))
 	}
 	mExhaustive.Add(1)
 	tested := int64(0)
@@ -127,29 +129,30 @@ const (
 )
 
 // LPDecode mounts the polynomial-time attack of Theorem 1.1(ii): it asks
-// the oracle the given queries and solves a linear program fitting a
-// fractional database x ∈ [0,1]^n to the answers, then rounds. It returns
-// the rounded reconstruction and the fractional LP solution.
-func LPDecode(o query.Oracle, queries [][]int, objective LPObjective) ([]int64, []float64, error) {
+// the oracle the given queries as one batch and solves a linear program
+// fitting a fractional database x ∈ [0,1]^n to the answers, then rounds.
+// It returns the rounded reconstruction and the fractional LP solution.
+func LPDecode(ctx context.Context, o query.Oracle, queries [][]int, objective LPObjective) ([]int64, []float64, error) {
 	n := o.N()
 	m := len(queries)
 	if m == 0 {
 		return nil, nil, fmt.Errorf("recon: no queries")
 	}
 	mLPDecodes.Add(1)
-	answers := make([]float64, m)
-	for qi, q := range queries {
+	for _, q := range queries {
 		// Same well-formedness contract as Exhaustive: the constraint rows
 		// below assign one coefficient per index, collapsing duplicates an
 		// oracle might have counted twice.
 		if err := query.ValidateQuery(n, q); err != nil {
 			return nil, nil, fmt.Errorf("recon: %w", err)
 		}
-		a, err := o.SubsetSum(q)
-		if err != nil {
-			return nil, nil, fmt.Errorf("recon: oracle failed: %w", err)
-		}
-		answers[qi] = a
+	}
+	answers, err := o.Answer(ctx, queries)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recon: oracle failed: %w", err)
+	}
+	if len(answers) != m {
+		return nil, nil, fmt.Errorf("recon: oracle returned %d answers for %d queries", len(answers), m)
 	}
 
 	var nv int

@@ -1,6 +1,7 @@
 package recon
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -9,6 +10,8 @@ import (
 	"singlingout/internal/query"
 	"singlingout/internal/synth"
 )
+
+var ctx = context.Background()
 
 func TestHammingError(t *testing.T) {
 	if got := HammingError([]int64{1, 0, 1, 0}, []int64{1, 1, 1, 1}); got != 0.5 {
@@ -30,7 +33,7 @@ func TestExhaustiveExactOracle(t *testing.T) {
 	n := 12
 	x := synth.BinaryDataset(rng, n, 0.5)
 	queries := query.RandomSubsets(rng, n, 100)
-	got, err := Exhaustive(&query.Exact{X: x}, queries, 0)
+	got, err := Exhaustive(ctx, &query.Exact{X: x}, queries, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +51,7 @@ func TestExhaustiveBoundedNoise(t *testing.T) {
 	alpha := 1.0
 	queries := query.RandomSubsets(rng, n, 150)
 	o := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
-	got, err := Exhaustive(o, queries, alpha)
+	got, err := Exhaustive(ctx, o, queries, alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +62,14 @@ func TestExhaustiveBoundedNoise(t *testing.T) {
 
 func TestExhaustiveRejectsLargeN(t *testing.T) {
 	x := make([]int64, 30)
-	if _, err := Exhaustive(&query.Exact{X: x}, nil, 0); err == nil {
+	if _, err := Exhaustive(ctx, &query.Exact{X: x}, nil, 0); err == nil {
 		t.Error("n > 24 should fail")
 	}
 }
 
 func TestExhaustiveBadQuery(t *testing.T) {
 	x := []int64{1, 0}
-	if _, err := Exhaustive(&query.Exact{X: x}, [][]int{{5}}, 0); err == nil {
+	if _, err := Exhaustive(ctx, &query.Exact{X: x}, [][]int{{5}}, 0); err == nil {
 		t.Error("out-of-range query should fail")
 	}
 }
@@ -75,7 +78,7 @@ func TestExhaustiveNoConsistentCandidate(t *testing.T) {
 	// An oracle whose answers are impossible (negative) admits no
 	// consistent candidate at alpha=0.1.
 	o := &lyingOracle{n: 4}
-	_, err := Exhaustive(o, [][]int{{0}, {1}}, 0.1)
+	_, err := Exhaustive(ctx, o, [][]int{{0}, {1}}, 0.1)
 	if err == nil {
 		t.Error("expected no-candidate error")
 	}
@@ -83,13 +86,19 @@ func TestExhaustiveNoConsistentCandidate(t *testing.T) {
 
 type lyingOracle struct{ n int }
 
-func (l *lyingOracle) SubsetSum(q []int) (float64, error) { return -5, nil }
-func (l *lyingOracle) N() int                             { return l.n }
+func (l *lyingOracle) Answer(_ context.Context, queries [][]int) ([]float64, error) {
+	out := make([]float64, len(queries))
+	for i := range out {
+		out[i] = -5
+	}
+	return out, nil
+}
+func (l *lyingOracle) N() int { return l.n }
 
 func TestExhaustivePropagatesOracleError(t *testing.T) {
 	x := []int64{1, 0, 1}
 	b := &query.Budgeted{Inner: &query.Exact{X: x}, Limit: 1}
-	if _, err := Exhaustive(b, [][]int{{0}, {1}}, 0); err == nil {
+	if _, err := Exhaustive(ctx, b, [][]int{{0}, {1}}, 0); err == nil {
 		t.Error("budget exhaustion should propagate")
 	}
 }
@@ -99,7 +108,7 @@ func TestLPDecodeExact(t *testing.T) {
 	n := 32
 	x := synth.BinaryDataset(rng, n, 0.5)
 	queries := query.RandomSubsets(rng, n, 4*n)
-	got, frac, err := LPDecode(&query.Exact{X: x}, queries, L1Slack)
+	got, frac, err := LPDecode(ctx, &query.Exact{X: x}, queries, L1Slack)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +134,7 @@ func TestLPDecodeSmallNoiseReconstructs(t *testing.T) {
 	alpha := 0.25 * math.Sqrt(float64(n)) // = 2
 	queries := query.RandomSubsets(rng, n, 4*n)
 	o := &query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}
-	got, _, err := LPDecode(o, queries, L1Slack)
+	got, _, err := LPDecode(ctx, o, queries, L1Slack)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +151,7 @@ func TestLPDecodeLargeNoiseFails(t *testing.T) {
 	x := synth.BinaryDataset(rng, n, 0.5)
 	queries := query.RandomSubsets(rng, n, 4*n)
 	o := &query.BoundedNoise{X: x, Alpha: float64(n) / 3, Rng: rng}
-	got, _, err := LPDecode(o, queries, L1Slack)
+	got, _, err := LPDecode(ctx, o, queries, L1Slack)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +166,7 @@ func TestLPDecodeChebyshev(t *testing.T) {
 	x := synth.BinaryDataset(rng, n, 0.5)
 	queries := query.RandomSubsets(rng, n, 4*n)
 	o := &query.BoundedNoise{X: x, Alpha: 1.0, Rng: rng}
-	got, _, err := LPDecode(o, queries, Chebyshev)
+	got, _, err := LPDecode(ctx, o, queries, Chebyshev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,14 +177,14 @@ func TestLPDecodeChebyshev(t *testing.T) {
 
 func TestLPDecodeErrors(t *testing.T) {
 	x := []int64{1, 0}
-	if _, _, err := LPDecode(&query.Exact{X: x}, nil, L1Slack); err == nil {
+	if _, _, err := LPDecode(ctx, &query.Exact{X: x}, nil, L1Slack); err == nil {
 		t.Error("no queries should fail")
 	}
-	if _, _, err := LPDecode(&query.Exact{X: x}, [][]int{{0}}, LPObjective(99)); err == nil {
+	if _, _, err := LPDecode(ctx, &query.Exact{X: x}, [][]int{{0}}, LPObjective(99)); err == nil {
 		t.Error("unknown objective should fail")
 	}
 	b := &query.Budgeted{Inner: &query.Exact{X: x}, Limit: 0}
-	if _, _, err := LPDecode(b, [][]int{{0}}, L1Slack); err == nil {
+	if _, _, err := LPDecode(ctx, b, [][]int{{0}}, L1Slack); err == nil {
 		t.Error("oracle error should propagate")
 	}
 }
@@ -198,7 +207,7 @@ func TestLPDecodeAgainstLaplaceOracle(t *testing.T) {
 	x := synth.BinaryDataset(rng, n, 0.5)
 	queries := query.RandomSubsets(rng, n, 4*n)
 	o := &query.Laplace{X: x, Eps: 5, Rng: rng}
-	got, _, err := LPDecode(o, queries, L1Slack)
+	got, _, err := LPDecode(ctx, o, queries, L1Slack)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,17 +226,17 @@ func TestDuplicateIndexQueryConsistency(t *testing.T) {
 	x := []int64{1, 1, 0, 1}
 	dup := [][]int{{0, 0, 1}}
 	// Oracle path rejects.
-	if _, err := (&query.Exact{X: x}).SubsetSum(dup[0]); err == nil {
+	if _, err := query.AnswerOne(ctx, &query.Exact{X: x}, dup[0]); err == nil {
 		t.Error("oracle should reject a duplicate-index query")
 	}
 	// Attacker paths reject the same query (before ever reaching an
 	// oracle that might have answered it with double-counting), and say
 	// why — the old behaviour was a misleading "no consistent candidate"
 	// from Exhaustive and a silently wrong reconstruction from LPDecode.
-	if _, err := Exhaustive(&lyingOracle{n: 4}, dup, 0); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if _, err := Exhaustive(ctx, &lyingOracle{n: 4}, dup, 0); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Errorf("Exhaustive should reject a duplicate-index query as such, got %v", err)
 	}
-	if _, _, err := LPDecode(&lyingOracle{n: 4}, dup, L1Slack); err == nil || !strings.Contains(err.Error(), "duplicate") {
+	if _, _, err := LPDecode(ctx, &lyingOracle{n: 4}, dup, L1Slack); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Errorf("LPDecode should reject a duplicate-index query as such, got %v", err)
 	}
 }
