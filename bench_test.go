@@ -40,9 +40,10 @@ func benchExperiment(b *testing.B, id string) {
 	reg.SetEnabled(true)
 	defer reg.SetEnabled(wasEnabled)
 	before := reg.Snapshot()
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tab, err := r.Run(1, true)
+		tab, err := r.Run(ctx, 1, true)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -19,10 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"singlingout/internal/experiments"
@@ -53,7 +56,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
 		os.Exit(1)
 	}
-	status := run(tool, *id, *seed, *full, *stats)
+	// ^C / SIGTERM cancels the context threaded through every harness, so
+	// an interrupted run still flushes its journal and profiles below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	status := run(ctx, tool, *id, *seed, *full, *stats)
+	stopSignals()
 	if err := tool.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "psoctl: %v\n", err)
 		if status == 0 {
@@ -63,7 +70,7 @@ func main() {
 	os.Exit(status)
 }
 
-func run(tool *serve.Tool, id string, seed int64, full, stats bool) int {
+func run(ctx context.Context, tool *serve.Tool, id string, seed int64, full, stats bool) int {
 	ids := psoIDs
 	if id != "" {
 		ids = []string{strings.ToUpper(id)}
@@ -87,9 +94,9 @@ func run(tool *serve.Tool, id string, seed int64, full, stats bool) int {
 		var delta obs.Snapshot
 		var err error
 		if stats || tool.Observing() {
-			tab, delta, err = r.RunInstrumented(seed, !full)
+			tab, delta, err = r.RunInstrumented(ctx, seed, !full)
 		} else {
-			tab, err = r.Run(seed, !full)
+			tab, err = r.Run(ctx, seed, !full)
 		}
 		ev := obs.Event{
 			Phase:   "experiment",

@@ -37,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"singlingout/internal/experiments"
@@ -63,12 +65,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
 		os.Exit(1)
 	}
+	// ^C / SIGTERM cancels the context threaded through the attack
+	// harnesses (and any in-flight remote batch), so an interrupted run
+	// still flushes its journal and profiles below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	var status int
 	if *remoteURL != "" {
-		status = runRemote(tool, *remoteURL, *remoteBackend, *analyst, *seed, *full, *stats)
+		status = runRemote(ctx, tool, *remoteURL, *remoteBackend, *analyst, *seed, *full, *stats)
 	} else {
-		status = run(tool, *attack, *seed, *full, *stats)
+		status = run(ctx, tool, *attack, *seed, *full, *stats)
 	}
+	stopSignals()
 	if err := tool.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
 		if status == 0 {
@@ -81,8 +88,7 @@ func main() {
 // runRemote mounts the LP-decoding sweep against a qserver: ground truth
 // is regenerated locally from the server's advertised metadata, never
 // transmitted.
-func runRemote(tool *serve.Tool, baseURL, backend, analyst string, seed int64, full, stats bool) int {
-	ctx := context.Background()
+func runRemote(ctx context.Context, tool *serve.Tool, baseURL, backend, analyst string, seed int64, full, stats bool) int {
 	o, err := remote.Dial(ctx, baseURL, remote.Options{Backend: backend, Analyst: analyst})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
@@ -145,7 +151,7 @@ func runRemote(tool *serve.Tool, baseURL, backend, analyst string, seed int64, f
 	return 0
 }
 
-func run(tool *serve.Tool, attack string, seed int64, full, stats bool) int {
+func run(ctx context.Context, tool *serve.Tool, attack string, seed int64, full, stats bool) int {
 	byName := map[string][]string{
 		"exhaustive": {"E01"},
 		"lp":         {"E02", "A01"},
@@ -173,9 +179,9 @@ func run(tool *serve.Tool, attack string, seed int64, full, stats bool) int {
 		var delta obs.Snapshot
 		var err error
 		if stats || tool.Observing() {
-			tab, delta, err = r.RunInstrumented(seed, !full)
+			tab, delta, err = r.RunInstrumented(ctx, seed, !full)
 		} else {
-			tab, err = r.Run(seed, !full)
+			tab, err = r.Run(ctx, seed, !full)
 		}
 		ev := obs.Event{
 			Phase:   "experiment",

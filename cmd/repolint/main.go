@@ -1,0 +1,110 @@
+// Command repolint runs the repository's invariant-checking suite
+// (internal/analysis) over go-style package patterns and exits non-zero
+// on any finding. It is the mechanical enforcement of the determinism,
+// sentinel-error, ctx-propagation, metric-naming, and bounded-concurrency
+// rules the benchmarks depend on; see docs/INVARIANTS.md.
+//
+// Usage:
+//
+//	repolint [-only determinism,boundedgo] [-list] [-suppressed] [patterns...]
+//
+// Patterns default to ./... resolved against the enclosing module.
+// Findings print as file:line:col: message (analyzer). Suppressions use
+// //lint:ignore <analyzer> <reason> on the offending line or the line
+// above; -suppressed shows what they hide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"singlingout/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("repolint", flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	showSuppressed := fs.Bool("suppressed", false, "also print findings hidden by lint:ignore directives")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var picked []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(stderr, "repolint: unknown analyzer %q (try -list)\n", name)
+			return 2
+		}
+		analyzers = picked
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	root, modPath, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(root, modPath, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAll(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+
+	findings, suppressed := 0, 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if *showSuppressed {
+				fmt.Fprintf(stdout, "%s [suppressed]\n", d)
+			}
+			continue
+		}
+		findings++
+		fmt.Fprintln(stdout, d)
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "repolint: %d finding(s) across %d package(s)\n", findings, len(pkgs))
+		return 1
+	}
+	if suppressed > 0 && !*showSuppressed {
+		fmt.Fprintf(stderr, "repolint: clean (%d suppressed by lint:ignore; rerun with -suppressed to view)\n", suppressed)
+	}
+	return 0
+}

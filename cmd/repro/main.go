@@ -41,8 +41,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"singlingout/internal/census"
@@ -164,7 +166,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}
-	status := run(tool, *seed, *quick, *id)
+	// ^C / SIGTERM cancels the context threaded through every harness, so
+	// an interrupted run still flushes its journal and profiles below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	status := run(ctx, tool, *seed, *quick, *id)
+	stopSignals()
 	// Close flushes profiles, the span timeline and the journal; losing any
 	// of them is a failure even when the experiments succeeded.
 	if err := tool.Close(); err != nil {
@@ -176,7 +182,7 @@ func main() {
 	os.Exit(status)
 }
 
-func run(tool *serve.Tool, seed int64, quick bool, id string) int {
+func run(ctx context.Context, tool *serve.Tool, seed int64, quick bool, id string) int {
 	runners := experiments.All()
 	if id != "" {
 		r, ok := experiments.ByID(id)
@@ -205,9 +211,9 @@ func run(tool *serve.Tool, seed int64, quick bool, id string) int {
 		var delta obs.Snapshot
 		var err error
 		if tool.Observing() {
-			tab, delta, err = r.RunInstrumented(seed, quick)
+			tab, delta, err = r.RunInstrumented(ctx, seed, quick)
 		} else {
-			tab, err = r.Run(seed, quick)
+			tab, err = r.Run(ctx, seed, quick)
 		}
 		elapsed := time.Since(start)
 		ev := obs.Event{

@@ -1,0 +1,242 @@
+// Package analysis is the repository's invariant-checking suite: a
+// minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus the five repo-specific analyzers that cmd/repolint compiles into a
+// multichecker. The module deliberately has no third-party dependencies,
+// so the framework is built on go/ast + go/parser + go/token only; the
+// analyzers are syntactic (import-resolved selector matching), which is
+// exactly enough for the invariants they police.
+//
+// The enforced invariants — why each exists and how to suppress a false
+// positive — are documented in docs/INVARIANTS.md. Suppression uses a
+// staticcheck-style directive:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; a directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named invariant check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// SourceFile is one parsed file of a package under analysis.
+type SourceFile struct {
+	Path string // filesystem path, for diagnostics
+	Test bool   // *_test.go, or member of an external _test package
+	AST  *ast.File
+	// ignores maps a line number to the analyzer names a lint:ignore
+	// directive on that line suppresses. A directive covers its own line
+	// and the line immediately below it, so it works both trailing the
+	// offending statement and on its own line above it.
+	ignores map[int][]string
+	// badDirectives records malformed lint:ignore comments (missing
+	// analyzer list or reason); the driver reports them as findings.
+	badDirectives []Diagnostic
+}
+
+// Package is one package (one directory) under analysis.
+type Package struct {
+	Name  string // package name, e.g. "experiments"
+	Path  string // slash-separated import path, e.g. "singlingout/internal/experiments"
+	Dir   string // directory the files were loaded from
+	Files []*SourceFile
+	Fset  *token.FileSet
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool // a lint:ignore directive covers this line
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one (analyzer, package) unit of work, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ImportName resolves the local name under which file f imports
+// importPath: the explicit name for renamed imports, the path's base
+// otherwise, and ok=false when the path is not imported (or is imported
+// only for side effects).
+func ImportName(f *ast.File, importPath string) (name string, ok bool) {
+	for _, spec := range f.Imports {
+		p, err := strconv.Unquote(spec.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if spec.Name != nil {
+			if spec.Name.Name == "_" || spec.Name.Name == "." {
+				return "", false
+			}
+			return spec.Name.Name, true
+		}
+		return path.Base(p), true
+	}
+	return "", false
+}
+
+// isPkgSel reports whether e is the selector pkgName.sel where pkgName is
+// a bare identifier (the usual package-qualified call shape).
+func isPkgSel(e ast.Expr, pkgName, sel string) bool {
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	return ok && id.Name == pkgName
+}
+
+// ignoreDirective parses an "//lint:ignore a,b reason" comment. Like
+// staticcheck, the directive must start the comment with no space after
+// the slashes, so prose mentioning lint:ignore is not a directive.
+// Returns ok=false for non-directives; a directive with a missing
+// analyzer list or reason yields malformed=true.
+func ignoreDirective(text string) (analyzers []string, ok, malformed bool) {
+	rest, ok := strings.CutPrefix(text, "//lint:ignore")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, true, true // need both an analyzer list and a reason
+	}
+	for _, a := range strings.Split(fields[0], ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			analyzers = append(analyzers, a)
+		}
+	}
+	return analyzers, true, len(analyzers) == 0
+}
+
+// collectIgnores scans a parsed file's comments for lint:ignore
+// directives, populating f.ignores and f.badDirectives.
+func (f *SourceFile) collectIgnores(fset *token.FileSet) {
+	f.ignores = map[int][]string{}
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			names, ok, malformed := ignoreDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if malformed {
+				f.badDirectives = append(f.badDirectives, Diagnostic{
+					Analyzer: "repolint",
+					Pos:      pos,
+					Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+				})
+				continue
+			}
+			f.ignores[pos.Line] = append(f.ignores[pos.Line], names...)
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic from analyzer at line is
+// covered by a directive on that line or the line above.
+func (f *SourceFile) suppressed(analyzer string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, name := range f.ignores[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies one analyzer to one package and returns its diagnostics
+// with suppression already resolved (suppressed findings are returned,
+// flagged, so callers can count them).
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, diags: &diags}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+	}
+	byFile := map[string]*SourceFile{}
+	for _, f := range pkg.Files {
+		byFile[f.Path] = f
+	}
+	for i := range diags {
+		if f := byFile[diags[i].Pos.Filename]; f != nil && f.suppressed(a.Name, diags[i].Pos.Line) {
+			diags[i].Suppressed = true
+		}
+	}
+	return diags, nil
+}
+
+// RunAll applies every analyzer to every package, appends malformed
+// lint:ignore directives as findings, and returns the result sorted by
+// position.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := Run(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, diags...)
+		}
+		for _, f := range pkg.Files {
+			all = append(all, f.badDirectives...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos.Filename != all[j].Pos.Filename {
+			return all[i].Pos.Filename < all[j].Pos.Filename
+		}
+		if all[i].Pos.Line != all[j].Pos.Line {
+			return all[i].Pos.Line < all[j].Pos.Line
+		}
+		return all[i].Pos.Column < all[j].Pos.Column
+	})
+	return all, nil
+}
+
+// All returns the full repolint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		SentinelCmp,
+		CtxBackground,
+		ObsNames,
+		BoundedGo,
+	}
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"singlingout/internal/analysis"
+	"singlingout/internal/analysis/analysistest"
+)
+
+// TestBoundedGo checks that bare go statements are flagged in internal/
+// packages, allowed in internal/par (the pool primitive), and
+// suppressible for infrastructure goroutines.
+func TestBoundedGo(t *testing.T) {
+	analysistest.Run(t, analysis.BoundedGo, "internal/fanout", "internal/par")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"singlingout/internal/analysis"
+	"singlingout/internal/analysis/analysistest"
+)
+
+// TestCtxBackground checks that context.Background()/TODO() is flagged in
+// library code — with the message distinguishing a ctx parameter already
+// in scope from a function that should grow one — and exempted in main
+// packages.
+func TestCtxBackground(t *testing.T) {
+	analysistest.Run(t, analysis.CtxBackground, "ctxbackground", "ctxbackground_main")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"singlingout/internal/analysis"
+	"singlingout/internal/analysis/analysistest"
+)
+
+// TestDeterminism checks that ambient entropy (clock, global rand,
+// crypto/rand) is flagged inside the deterministic package set and that
+// injected *rand.Rand streams, out-of-scope packages, and lint:ignore
+// suppressions are not.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "determinism", "determinism_other")
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"singlingout/internal/analysis"
+	"singlingout/internal/analysis/analysistest"
+)
+
+// TestObsNames checks the lowercase dotted convention on metric-name
+// literals, Metric* constant definitions, and obs.Event Phase fields, and
+// that same-named domain functions with different arity stay out of
+// scope.
+func TestObsNames(t *testing.T) {
+	analysistest.Run(t, analysis.ObsNames, "obsnames")
+}

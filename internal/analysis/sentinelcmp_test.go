@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"singlingout/internal/analysis"
+	"singlingout/internal/analysis/analysistest"
+)
+
+// TestSentinelCmp checks that == / != against exported sentinels (ErrFoo,
+// io.EOF) is flagged while errors.Is and nil checks are not.
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, analysis.SentinelCmp, "sentinelcmp")
+}

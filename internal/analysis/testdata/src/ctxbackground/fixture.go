@@ -1,0 +1,33 @@
+// Fixture for the ctxbackground analyzer: library code must thread the
+// caller's context instead of minting a root.
+package libx
+
+import "context"
+
+// BadInScope has a ctx parameter but severs it anyway — the exact shape
+// of the pre-fix experiments harness bug.
+func BadInScope(ctx context.Context) error {
+	return work(context.Background()) // want `context\.Background\(\) in package libx: a ctx parameter is in scope`
+}
+
+// BadNoParam has no ctx parameter; the fix is to grow one.
+func BadNoParam() error {
+	return work(context.TODO()) // want `context\.TODO\(\) in package libx: the enclosing function should accept`
+}
+
+// BadInClosure: the enclosing literal's parent function has ctx in scope.
+func BadInClosure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want `a ctx parameter is in scope`
+	}
+}
+
+// Good threads the caller's context.
+func Good(ctx context.Context) error {
+	return work(ctx)
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

@@ -1,0 +1,10 @@
+// Counterpart fixture: main packages own the process root context, so
+// minting one is exactly right there.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,36 @@
+// Fixture for the determinism analyzer: package recon is in the
+// deterministic set, so ambient entropy is flagged while injected
+// randomness is not.
+package recon
+
+import (
+	crand "crypto/rand" // want `crypto/rand in deterministic package recon`
+	"math/rand"
+	"time"
+)
+
+// Bad draws from every forbidden ambient source.
+func Bad() (int, float64) {
+	start := time.Now()          // want `time\.Now in deterministic package recon`
+	elapsed := time.Since(start) // want `time\.Since in deterministic package recon`
+	_ = elapsed
+	v := rand.Intn(6)                  // want `global rand\.Intn in deterministic package recon`
+	f := rand.Float64()                // want `global rand\.Float64 in deterministic package recon`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle in deterministic package recon`
+	var buf [8]byte
+	_, _ = crand.Read(buf[:])
+	return v, f
+}
+
+// Good derives every stream from an injected seed: the constructors are
+// allowed, only the process-global top-level functions are not.
+func Good(seed int64, index int) float64 {
+	rng := rand.New(rand.NewSource(seed ^ int64(index)))
+	return rng.Float64()
+}
+
+// Suppressed shows the escape hatch: a labelled wall-time measurement.
+func Suppressed() time.Time {
+	//lint:ignore determinism labelled timing output, not part of the reconstruction result
+	return time.Now()
+}

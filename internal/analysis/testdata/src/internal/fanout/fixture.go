@@ -1,0 +1,18 @@
+// Fixture for the boundedgo analyzer: internal packages outside
+// internal/par must not spawn raw goroutines — fan-out goes through the
+// deterministic pool or the gate.
+package fanout
+
+// Bad spawns unbounded goroutines; results depend on scheduling and the
+// worker-count invariance guarantee is gone.
+func Bad(items []int) {
+	for range items {
+		go func() {}() // want `bare go statement in internal/fanout`
+	}
+}
+
+// Suppressed shows the escape hatch for infrastructure goroutines.
+func Suppressed(serve func() error) {
+	//lint:ignore boundedgo accept loop, lifetime bounded by Close
+	go serve()
+}

@@ -1,0 +1,18 @@
+// Counterpart fixture: internal/par is the one place allowed to spawn
+// goroutines — it is the bounded pool the rest of internal/ must use.
+package par
+
+import "sync"
+
+// ForEach may use raw goroutines: it is the primitive.
+func ForEach(workers int, fn func()) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+// Fixture for the sentinelcmp analyzer: identity comparison against
+// exported sentinels is flagged module-wide; errors.Is is the compliant
+// form.
+package sentinel
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrBudgetExhausted mirrors the query package's sentinel.
+var ErrBudgetExhausted = errors.New("budget exhausted")
+
+// Bad compares sentinels by identity, which stops matching the moment a
+// caller wraps the error with %w.
+func Bad(err error) int {
+	if err == io.EOF { // want `io\.EOF compared with ==`
+		return 0
+	}
+	if err != ErrBudgetExhausted { // want `ErrBudgetExhausted compared with !=`
+		return 1
+	}
+	return 2
+}
+
+// Good survives wrapping.
+func Good(err error) int {
+	if errors.Is(err, io.EOF) {
+		return 0
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		return 1
+	}
+	// Nil checks are not sentinel comparisons.
+	if err == nil {
+		return 2
+	}
+	return 3
+}

@@ -10,6 +10,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -304,7 +305,7 @@ func ReadCSV(r io.Reader, schema *Schema) (*Dataset, error) {
 	d := New(schema)
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -16,7 +17,7 @@ import (
 // E11CensusReconstruction reproduces the census narrative end to end:
 // publish block tables, SAT-reconstruct the microdata, then re-identify
 // against registries of varying coverage.
-func E11CensusReconstruction(seed int64, quick bool) (*Table, error) {
+func E11CensusReconstruction(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 600
 	if quick {
@@ -70,7 +71,7 @@ func E11CensusReconstruction(seed int64, quick bool) (*Table, error) {
 
 // E12QuasiIDUniqueness reproduces Sweeney's uniqueness analysis across
 // quasi-identifier sets and population scales.
-func E12QuasiIDUniqueness(seed int64, quick bool) (*Table, error) {
+func E12QuasiIDUniqueness(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	sizes := []int{2000, 10000, 50000}
 	if quick {
@@ -109,7 +110,7 @@ func E12QuasiIDUniqueness(seed int64, quick bool) (*Table, error) {
 
 // E14KAnonComposition reproduces the composition failure: two releases,
 // each k-anonymous, intersect to candidate sets of size 1.
-func E14KAnonComposition(seed int64, quick bool) (*Table, error) {
+func E14KAnonComposition(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 2000
 	if quick {
@@ -158,7 +159,7 @@ func E14KAnonComposition(seed int64, quick bool) (*Table, error) {
 
 // A04CardinalityEncoding is the SAT-encoding ablation: sequential counter
 // vs pairwise at-most-one on census-style one-hot groups.
-func A04CardinalityEncoding(seed int64, quick bool) (*Table, error) {
+func A04CardinalityEncoding(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	groups := 200
 	width := 60
 	if quick {
@@ -178,6 +179,7 @@ func A04CardinalityEncoding(seed int64, quick bool) (*Table, error) {
 	} {
 		s := sat.New()
 		rng := rand.New(rand.NewSource(seed))
+		//lint:ignore determinism the wall-time column reports measured solver speed; it is labelled as timing, not part of the reconstruction result
 		start := time.Now()
 		for g := 0; g < groups; g++ {
 			vars := make([]int, width)
@@ -198,6 +200,7 @@ func A04CardinalityEncoding(seed int64, quick bool) (*Table, error) {
 		if got := s.Solve(); got != sat.Sat {
 			return nil, fmt.Errorf("experiments: A04 expected sat, got %v", got)
 		}
+		//lint:ignore determinism pairs with the time.Now above for the labelled wall-time column
 		elapsed := time.Since(start)
 		t.AddRow(enc.name, fmt.Sprintf("%d", s.NumClauses()), fmt.Sprintf("%d", s.Propagations), elapsed.Round(time.Millisecond).String())
 	}
@@ -207,7 +210,7 @@ func A04CardinalityEncoding(seed int64, quick bool) (*Table, error) {
 // A06FullDomainSearch compares Datafly's greedy generalization against
 // exhaustive lattice search at matched k (the NP-hardness workaround
 // ablation).
-func A06FullDomainSearch(seed int64, quick bool) (*Table, error) {
+func A06FullDomainSearch(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 3000
 	if quick {
@@ -262,7 +265,7 @@ func A06FullDomainSearch(seed int64, quick bool) (*Table, error) {
 // E19CensusDefenses compares the disclosure-avoidance defenses of the
 // census story: nothing, record swapping (the 2010 technique the attack
 // defeated), and ε-DP table noise (the post-2020 remedy).
-func E19CensusDefenses(seed int64, quick bool) (*Table, error) {
+func E19CensusDefenses(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 500
 	if quick {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestAllRunnersProduceTables(t *testing.T) {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
 			t.Parallel()
-			tab, err := r.Run(1, true)
+			tab, err := r.Run(context.Background(), 1, true)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -50,7 +51,7 @@ func TestByID(t *testing.T) {
 // TestE02CrossoverShape verifies the fundamental-law shape: reconstruction
 // succeeds at small noise and fails at noise Θ(n).
 func TestE02CrossoverShape(t *testing.T) {
-	tab, err := E02LPReconstruction(7, true)
+	tab, err := E02LPReconstruction(context.Background(), 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestE02CrossoverShape(t *testing.T) {
 // TestE09CrossoverShape verifies the DP defense: small epsilon prevents
 // PSO, exact counts do not.
 func TestE09CrossoverShape(t *testing.T) {
-	tab, err := E09DPPSOSecurity(7, true)
+	tab, err := E09DPPSOSecurity(context.Background(), 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestE09CrossoverShape(t *testing.T) {
 // the measured table: the WP verdict for k-anonymity is contradicted and
 // the DP verdict is consistent.
 func TestE16Contradiction(t *testing.T) {
-	tab, err := E16LegalVerdictTable(7, true)
+	tab, err := E16LegalVerdictTable(context.Background(), 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestTableRendering(t *testing.T) {
 // TestE19DefenseShape verifies the historical arc: swapping leaves every
 // block solvable while DP noise makes most unsolvable.
 func TestE19DefenseShape(t *testing.T) {
-	tab, err := E19CensusDefenses(7, true)
+	tab, err := E19CensusDefenses(context.Background(), 7, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRunInstrumented(t *testing.T) {
 	if !ok {
 		t.Fatal("E01 not registered")
 	}
-	tab, delta, err := r.RunInstrumented(1, true)
+	tab, delta, err := r.RunInstrumented(context.Background(), 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,7 +13,7 @@ import (
 // E17MembershipInference covers the paper's Homer et al. survey point:
 // exact aggregate statistics leak membership (AUC → 1 as the number of
 // released statistics grows), and a DP release collapses the attack.
-func E17MembershipInference(seed int64, quick bool) (*Table, error) {
+func E17MembershipInference(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	studyN, outs := 100, 200
 	reps := 5
@@ -53,7 +54,7 @@ func E17MembershipInference(seed int64, quick bool) (*Table, error) {
 // E18NetflixScoreboard covers the Narayanan–Shmatikov survey point: sparse
 // long-tailed behavioral data is re-identifiable from a handful of noisy
 // auxiliary ratings.
-func E18NetflixScoreboard(seed int64, quick bool) (*Table, error) {
+func E18NetflixScoreboard(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	users, movies, targets := 2000, 800, 60
 	if quick {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,7 +17,7 @@ import (
 // E04BirthdayIsolation reproduces the paper's Section 2.2 worked example:
 // a fixed-date predicate over 365 uniform birthdays isolates with
 // probability ≈ 1/e ≈ 37%.
-func E04BirthdayIsolation(seed int64, quick bool) (*Table, error) {
+func E04BirthdayIsolation(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trials := 4000
 	if quick {
@@ -45,7 +46,7 @@ func E04BirthdayIsolation(seed int64, quick bool) (*Table, error) {
 // E05IsolationCurve sweeps the predicate weight and compares the measured
 // isolation frequency to the closed form, exposing the two negligible
 // regimes (w tiny and w = ω(log n / n)).
-func E05IsolationCurve(seed int64, quick bool) (*Table, error) {
+func E05IsolationCurve(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n := 365
 	trials := 30000
@@ -102,7 +103,7 @@ func surveyQI(schema *dataset.Schema) []int {
 
 // E06CountPSOSecurity runs the Theorem 2.5 experiment: the exact count
 // mechanism M#q resists the full (non-adaptive) attack suite.
-func E06CountPSOSecurity(seed int64, quick bool) (*Table, error) {
+func E06CountPSOSecurity(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trials := 600
 	if quick {
@@ -138,7 +139,7 @@ func yesNo(b bool) string {
 
 // E07PostProcessing runs the Theorem 2.6 experiment: arbitrary
 // post-processing of a PSO-secure mechanism stays PSO-secure.
-func E07PostProcessing(seed int64, quick bool) (*Table, error) {
+func E07PostProcessing(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trials := 600
 	if quick {
@@ -170,7 +171,7 @@ func E07PostProcessing(seed int64, quick bool) (*Table, error) {
 
 // E08CompositionAttack runs the Theorem 2.8 experiment across dataset
 // sizes: ℓ = ω(log n) exact count queries single out almost always.
-func E08CompositionAttack(seed int64, quick bool) (*Table, error) {
+func E08CompositionAttack(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	ns := []int{250, 500, 1000}
 	trials := 60
@@ -207,7 +208,7 @@ func E08CompositionAttack(seed int64, quick bool) (*Table, error) {
 // E09DPPSOSecurity runs the Theorem 2.9 experiment: the same composition
 // attack against epsilon-DP noisy counts collapses once epsilon is small,
 // with a visible crossover as epsilon grows.
-func E09DPPSOSecurity(seed int64, quick bool) (*Table, error) {
+func E09DPPSOSecurity(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, trials := 500, 60
 	if quick {
@@ -245,7 +246,7 @@ func E09DPPSOSecurity(seed int64, quick bool) (*Table, error) {
 // dataset size scales with k (n = 120·k) so that class boxes keep
 // comparable (negligible) weight at every k — the asymptotic regime the
 // theorem addresses.
-func E10KAnonPSOAttack(seed int64, quick bool) (*Table, error) {
+func E10KAnonPSOAttack(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	scale, trials := 120, 60
 	if quick {
@@ -288,7 +289,7 @@ func E10KAnonPSOAttack(seed int64, quick bool) (*Table, error) {
 
 // E15CohenStyleAttack runs the boosted corner attack across k: success
 // approaches 100% against data-dependent generalization.
-func E15CohenStyleAttack(seed int64, quick bool) (*Table, error) {
+func E15CohenStyleAttack(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, trials := 600, 60
 	if quick {
@@ -316,7 +317,7 @@ func E15CohenStyleAttack(seed int64, quick bool) (*Table, error) {
 // E16LegalVerdictTable assembles the Section 2.4.3 comparison: measured
 // verdicts for each technology next to the Article 29 Working Party's
 // published answers.
-func E16LegalVerdictTable(seed int64, quick bool) (*Table, error) {
+func E16LegalVerdictTable(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	claims, rows, err := LegalClaims(seed, quick)
 	if err != nil {
 		return nil, err
@@ -405,7 +406,7 @@ func LegalClaims(seed int64, quick bool) ([]legal.Claim, []legal.WorkingPartyRow
 
 // A02PrefixArity is the descent-arity ablation: wider rounds spend more
 // queries for fewer adaptive rounds at equal success.
-func A02PrefixArity(seed int64, quick bool) (*Table, error) {
+func A02PrefixArity(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, trials := 500, 40
 	if quick {
@@ -435,7 +436,7 @@ func A02PrefixArity(seed int64, quick bool) (*Table, error) {
 
 // A03MondrianSplit is the split-policy ablation: relaxed splitting lowers
 // information loss while leaving the PSO attack success unchanged.
-func A03MondrianSplit(seed int64, quick bool) (*Table, error) {
+func A03MondrianSplit(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, trials := 500, 30
 	if quick {

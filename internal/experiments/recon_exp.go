@@ -19,7 +19,7 @@ import (
 // database; as alpha grows toward a constant fraction of n, error climbs.
 // Grid points run concurrently on the shared pool; each derives its RNG
 // from (seed, point index), so the table is identical at any worker count.
-func E01Exhaustive(seed int64, quick bool) (*Table, error) {
+func E01Exhaustive(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	n, queries, trials := 16, 300, 5
 	if quick {
 		n, queries, trials = 12, 120, 3
@@ -47,7 +47,7 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, queries)
 			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-			got, err := recon.Exhaustive(context.Background(), o, qs, alpha)
+			got, err := recon.Exhaustive(ctx, o, qs, alpha)
 			if err != nil {
 				return err
 			}
@@ -72,7 +72,7 @@ func E01Exhaustive(seed int64, quick bool) (*Table, error) {
 // E02LPReconstruction reproduces Theorem 1.1(ii) and the "fundamental law"
 // crossover: LP decoding with 4n queries defeats noise up to roughly √n,
 // and degrades to coin-flipping as noise approaches n.
-func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
+func E02LPReconstruction(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	// n=96 keeps a full sweep within minutes on a laptop; the shape is
 	// already stable from n≈32 (see the quick sizes). The (n, c) grid is
 	// flattened and fanned over the shared pool; per-point RNGs keep the
@@ -108,7 +108,7 @@ func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, 4*n)
 			o := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-			got, _, err := recon.LPDecode(context.Background(), o, qs, recon.L1Slack)
+			got, _, err := recon.LPDecode(ctx, o, qs, recon.L1Slack)
 			if err != nil {
 				return err
 			}
@@ -133,7 +133,7 @@ func E02LPReconstruction(seed int64, quick bool) (*Table, error) {
 // E03LaplaceDP verifies Theorem 1.3 empirically: the Laplace mechanism's
 // measured privacy loss stays below its advertised epsilon, and its
 // accuracy degrades as 1/eps.
-func E03LaplaceDP(seed int64, quick bool) (*Table, error) {
+func E03LaplaceDP(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trials := 300000
 	if quick {
@@ -169,7 +169,7 @@ func E03LaplaceDP(seed int64, quick bool) (*Table, error) {
 // E13DiffixReconstruction reproduces [13]: sticky noise plus low-count
 // suppression do not prevent LP reconstruction until the noise reaches the
 // fundamental-law scale.
-func E13DiffixReconstruction(seed int64, quick bool) (*Table, error) {
+func E13DiffixReconstruction(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	n := 96
 	if quick {
 		n = 48
@@ -188,7 +188,7 @@ func E13DiffixReconstruction(seed int64, quick bool) (*Table, error) {
 		rng := par.RNG(seed, i)
 		sd := sds[i]
 		c := &diffix.Cloak{X: synth.BinaryDataset(rng, n, 0.5), SD: sd, Threshold: 8, Seed: seed + int64(sd*100)}
-		res, _, err := diffix.Attack(context.Background(), rng, c, 4*n)
+		res, _, err := diffix.Attack(ctx, rng, c, 4*n)
 		if err != nil {
 			return err
 		}
@@ -210,7 +210,7 @@ func E13DiffixReconstruction(seed int64, quick bool) (*Table, error) {
 
 // A01LPObjective is the LP-objective ablation: L1 slack minimization vs
 // Chebyshev (max-violation) decoding at matched noise.
-func A01LPObjective(seed int64, quick bool) (*Table, error) {
+func A01LPObjective(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	n, trials := 64, 3
 	if quick {
@@ -231,7 +231,7 @@ func A01LPObjective(seed int64, quick bool) (*Table, error) {
 			x := synth.BinaryDataset(rng, n, 0.5)
 			qs := query.RandomSubsets(rng, n, 4*n)
 			oracle := query.Instrument(&query.BoundedNoise{X: x, Alpha: alpha, Rng: rng}, nil)
-			got, _, err := recon.LPDecode(context.Background(), oracle, qs, obj.o)
+			got, _, err := recon.LPDecode(ctx, oracle, qs, obj.o)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +244,7 @@ func A01LPObjective(seed int64, quick bool) (*Table, error) {
 
 // A05IntegerNoise compares the two-sided geometric and Laplace mechanisms
 // for integer counts at matched epsilon.
-func A05IntegerNoise(seed int64, quick bool) (*Table, error) {
+func A05IntegerNoise(ctx context.Context, seed int64, quick bool) (*Table, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trials := 200000
 	if quick {

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -116,11 +117,14 @@ func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 // g3 formats a float compactly.
 func g3(v float64) string { return fmt.Sprintf("%.3g", v) }
 
-// Runner is the registry entry for one experiment.
+// Runner is the registry entry for one experiment. Run threads the
+// caller's context through the harness so -serve and remote invocations
+// can cancel mid-sweep; harnesses must not mint their own root context
+// (enforced by repolint's ctxbackground analyzer).
 type Runner struct {
 	ID   string
 	Desc string
-	Run  func(seed int64, quick bool) (*Table, error)
+	Run  func(ctx context.Context, seed int64, quick bool) (*Table, error)
 }
 
 // RunInstrumented runs the experiment with the default obs registry
@@ -129,13 +133,13 @@ type Runner struct {
 // enabled state of the registry is restored afterwards. Experiments share
 // one global registry, so concurrent RunInstrumented calls attribute each
 // other's work; run experiments sequentially when metrics matter.
-func (r Runner) RunInstrumented(seed int64, quick bool) (*Table, obs.Snapshot, error) {
+func (r Runner) RunInstrumented(ctx context.Context, seed int64, quick bool) (*Table, obs.Snapshot, error) {
 	reg := obs.Default()
 	wasEnabled := reg.Enabled()
 	reg.SetEnabled(true)
 	defer reg.SetEnabled(wasEnabled)
 	before := reg.Snapshot()
-	t, err := r.Run(seed, quick)
+	t, err := r.Run(ctx, seed, quick)
 	delta := reg.Snapshot().Delta(before)
 	if t != nil {
 		t.Metrics = delta

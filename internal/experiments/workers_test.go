@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -37,7 +38,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		SetWorkers(workers)
 		out := map[string]string{}
 		for _, r := range runners {
-			tab, err := r.Run(seed, true)
+			tab, err := r.Run(context.Background(), seed, true)
 			if err != nil {
 				t.Fatalf("%s at workers=%d: %v", r.ID, workers, err)
 			}

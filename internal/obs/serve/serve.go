@@ -161,6 +161,7 @@ func (s *Server) Start(addr string) (string, error) {
 		return "", fmt.Errorf("serve: %w", err)
 	}
 	s.srv = &http.Server{Handler: s.mux}
+	//lint:ignore boundedgo HTTP accept loop, not work fan-out; its lifetime is bounded by Close
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	return ln.Addr().String(), nil
 }
