@@ -8,15 +8,17 @@
 #                  plus an advisory govulncheck pass when the tool exists
 #   make bench     quick instrumented repro run producing BENCH_<rev>.json
 #   make benchgate benchdiff against the committed BENCH_baseline.json
+#   make loadgen-smoke  in-process qserver load run; requires the
+#                  BENCH.qserver.* throughput/latency rows to survive
 #   make gobench   the root go test -bench suite with work counters
 #   make repro     full-size experiment tables (what EXPERIMENTS.md archives)
 
 GO ?= go
 rev := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 
-.PHONY: ci fmt lint vet build test race repro-quick bench benchgate gobench repro clean
+.PHONY: ci fmt lint vet build test race repro-quick bench benchgate loadgen-smoke gobench repro clean
 
-ci: fmt lint build race test benchgate
+ci: fmt lint build race test benchgate loadgen-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -79,6 +81,16 @@ bench:
 benchgate: repro-quick
 	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 -require BENCH.remote. BENCH_baseline.json /tmp/BENCH_$(rev).json
 
+# Load-generator smoke: a small multi-analyst Zipf workload against an
+# in-process qserver, journaled into its own directory (the BENCH file is
+# named by revision, so it must not collide with repro's). The gate only
+# requires the BENCH.qserver.* rows to exist — sub-second latency rows sit
+# below the -min floor, so wall-clock noise never fails CI here.
+loadgen-smoke:
+	mkdir -p /tmp/singlingout-loadgen
+	$(GO) run ./cmd/loadgen -analysts 4 -requests 16 -budget 100 -metrics /tmp/singlingout-loadgen/loadgen.jsonl
+	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 -require BENCH.qserver. BENCH_loadgen_baseline.json /tmp/singlingout-loadgen/BENCH_$(rev).json
+
 gobench:
 	$(GO) test -bench=. -benchmem .
 
@@ -87,3 +99,4 @@ repro:
 
 clean:
 	rm -f /tmp/singlingout-run.jsonl /tmp/singlingout-bench.jsonl /tmp/BENCH_*.json
+	rm -rf /tmp/singlingout-loadgen

@@ -16,7 +16,8 @@
 //
 //	GET  /v1/meta                dataset/backends/budget metadata
 //	POST /v1/query/{backend}     answer a batch (backend: exact, laplace, diffix)
-//	GET  /metrics /snapshot /healthz /journal /debug/pprof/   observability
+//	GET  /v1/ledger (or /ledger) append-only privacy-loss ledger (?analyst= filters)
+//	GET  /metrics /snapshot /healthz /journal /trace /debug/pprof/   observability
 //
 // Attacks run against it with `reconstruct -remote http://host:port`; the
 // dataset never leaves the server — evaluation harnesses regenerate it
@@ -65,8 +66,11 @@ func run(args []string, ready func(addr string)) int {
 		return 2
 	}
 
-	// The whole service is one long observation; metrics are always on.
+	// The whole service is one long observation; metrics and span tracing
+	// are always on — /trace serves the collected server-side spans so a
+	// remote client can merge them into its own Chrome trace export.
 	obs.Default().SetEnabled(true)
+	obs.DefaultTracer().SetEnabled(true)
 	var journalFile *os.File
 	journalSink := io.Writer(io.Discard) // SSE /journal still streams events
 	if *metricsPath != "" {
@@ -95,10 +99,12 @@ func run(args []string, ready func(addr string)) int {
 	osrv := serve.New(obs.Default(), journal)
 	osrv.SetPhase("serving")
 
-	// One listener: the query API under /v1/, the observability surface
-	// (Prometheus /metrics, /snapshot, /healthz, SSE /journal, pprof) at /.
+	// One listener: the query API under /v1/ (plus the /ledger alias for
+	// the privacy-loss ledger), the observability surface (Prometheus
+	// /metrics, /snapshot, /healthz, SSE /journal, /trace, pprof) at /.
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", rsrv.Handler())
+	mux.Handle("/ledger", rsrv.Handler())
 	mux.Handle("/", osrv.Handler())
 
 	ln, err := net.Listen("tcp", *addr)

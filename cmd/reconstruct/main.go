@@ -24,7 +24,11 @@
 // -metrics records a JSONL run journal (one event per attack); -serve
 // exposes the live observability HTTP endpoint (Prometheus /metrics,
 // /snapshot, /healthz, SSE /journal, /debug/pprof/) while the attacks run;
-// -spans exports the worker pool's Chrome trace-event timeline.
+// -spans exports the worker pool's Chrome trace-event timeline. Combined
+// with -remote, the qserver's server-side spans are fetched from its
+// /trace endpoint after the sweep and merged into the same export as a
+// second Perfetto process, interleaved with the client's lanes and
+// filtered to this run's wire trace id.
 //
 // -workers sizes the worker pool the parallel harnesses fan out on
 // (0 = GOMAXPROCS). Per-item randomness derives from (seed, item index),
@@ -146,9 +150,38 @@ func runRemote(ctx context.Context, tool *serve.Tool, baseURL, backend, analyst 
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
 		return 1
 	}
+	mergeServerTrace(ctx, tool, o, baseURL)
 	tool.Emit(obs.Event{Phase: "run_end", Seed: seed, Quick: !full, Sizes: map[string]int{"experiments": 1}})
 	tool.SetPhase("done")
 	return 0
+}
+
+// mergeServerTrace folds the qserver's server-side spans into the local
+// Chrome trace export (-spans): it fetches the server's /trace dump,
+// keeps the spans stamped with this client's wire trace id, and merges
+// them as a second Perfetto process lane next to the client's own. A
+// server without the obs endpoint (or an older one) degrades to a
+// client-only trace with a note, never a failed run.
+func mergeServerTrace(ctx context.Context, tool *serve.Tool, o *remote.Oracle, baseURL string) {
+	if !tool.SpanExport() {
+		return
+	}
+	dump, err := o.FetchTrace(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reconstruct: no server spans merged (%v); the trace will be client-only\n", err)
+		return
+	}
+	kept := dump.Events[:0]
+	for _, e := range dump.Events {
+		if e.Args["trace"] == o.TraceID() {
+			kept = append(kept, e)
+		}
+	}
+	dump.Events = kept
+	dump.Process = "qserver " + baseURL
+	obs.DefaultTracer().AddProcess(dump)
+	fmt.Fprintf(os.Stderr, "reconstruct: merged %d server spans (trace %s) into the span export\n",
+		len(kept), o.TraceID())
 }
 
 func run(ctx context.Context, tool *serve.Tool, attack string, seed int64, full, stats bool) int {

@@ -7,8 +7,11 @@ import "fmt"
 
 // Metric constants are checked at their definition site...
 const (
-	MetricGood = "qserver.batch_queries"
-	MetricBad  = "Qserver.BatchQueries" // want `metric constant MetricBad value "Qserver\.BatchQueries" is not lowercase dotted`
+	MetricGood     = "qserver.batch_queries"
+	MetricBad      = "Qserver.BatchQueries" // want `metric constant MetricBad value "Qserver\.BatchQueries" is not lowercase dotted`
+	MetricRetries  = "remote.retries"       // client-side retry counter family
+	MetricBackoff  = "remote.backoff_ns"
+	MetricBadUnits = "remote.backoff-NS" // want `metric constant MetricBadUnits value "remote\.backoff-NS" is not lowercase dotted`
 )
 
 // registry stands in for *obs.Registry; the analyzer is syntactic and
@@ -28,7 +31,10 @@ func register(r registry, shard int) {
 	r.Counter("census.BlocksSolved")               // want `obs Counter name "census\.BlocksSolved" is not lowercase dotted`
 	r.Histogram(fmt.Sprintf("shard%d.lat", shard)) // want `obs Histogram name must be a constant`
 	_ = Event{Phase: "run_start"}
-	_ = Event{Phase: "Run Start"} // want `obs\.Event Phase "Run Start" is not lowercase dotted`
+	_ = Event{Phase: "budget.spend"} // dotted ledger phases are in-convention
+	_ = Event{Phase: "query_retry"}
+	_ = Event{Phase: "Run Start"}   // want `obs\.Event Phase "Run Start" is not lowercase dotted`
+	_ = Event{Phase: "budget.Deny"} // want `obs\.Event Phase "budget\.Deny" is not lowercase dotted`
 }
 
 // histogram is a domain function that happens to share a constructor

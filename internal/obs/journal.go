@@ -32,6 +32,9 @@ type Event struct {
 	Seconds float64 `json:"seconds,omitempty"`
 	// Error is the failure message for phases that errored.
 	Error string `json:"error,omitempty"`
+	// Trace is the wire-propagated trace id (X-Trace-Id) of the request
+	// that caused the event, linking journal lines to Chrome-trace spans.
+	Trace string `json:"trace,omitempty"`
 	// Metrics is the snapshot (usually a delta) of work done in the phase.
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }

@@ -105,15 +105,51 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
-// Stat summarizes the histogram.
+// Stat summarizes the histogram, including the bucket counts (trimmed of
+// trailing empty buckets) and the quantiles derived from them.
 func (h *Histogram) Stat() HistStat {
 	s := HistStat{Count: h.count.Load(), Sum: h.sum.Load()}
 	if s.Count > 0 {
 		s.Min = h.min.Load()
 		s.Max = h.max.Load()
 		s.Mean = float64(s.Sum) / float64(s.Count)
+		top := 0
+		for i := range h.buckets {
+			if h.buckets[i].Load() > 0 {
+				top = i
+			}
+		}
+		s.Buckets = make([]int64, top+1)
+		for i := range s.Buckets {
+			s.Buckets[i] = h.buckets[i].Load()
+		}
+		s.fillQuantiles()
 	}
 	return s
+}
+
+// BucketBounds returns the value range [lo, hi) of base-2 bucket i:
+// bucket 0 holds exactly 0, bucket i >= 1 holds v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+func BucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = math.Ldexp(1, i-1)
+	return lo, 2 * lo
+}
+
+// BucketUpperBound returns the largest integer value bucket i can hold —
+// the inclusive Prometheus `le` boundary of the cumulative exposition:
+// 0 for bucket 0, 2^i - 1 for bucket i >= 1.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
 }
 
 // Span times one operation into a latency histogram. The zero Span (from a

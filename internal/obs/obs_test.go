@@ -145,7 +145,7 @@ func TestSnapshotFlat(t *testing.T) {
 	r.Counter("a.count").Add(1)
 	r.Histogram("m.lat_ns").Observe(10)
 	flat := r.Snapshot().Flat()
-	if len(flat) != 4 { // two counters + hist .count/.mean
+	if len(flat) != 6 { // two counters + hist .count/.mean/.p50/.p99
 		t.Fatalf("flat = %+v", flat)
 	}
 	for i := 1; i < len(flat); i++ {

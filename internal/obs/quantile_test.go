@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sampleQuantile is the oracle the bucket estimator is checked against:
+// the nearest-rank quantile of the sorted sample.
+func sampleQuantile(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1])
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	s := r.Histogram("q.lat_ns").Stat()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.P50 != 0 || s.P99 != 0 || s.Buckets != nil {
+		t.Errorf("empty stat = %+v", s)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 1000, 1 << 40} {
+		r := NewRegistry()
+		r.SetEnabled(true)
+		h := r.Histogram("q.lat_ns")
+		h.Observe(v)
+		s := h.Stat()
+		for _, q := range []float64{0, 0.001, 0.5, 0.99, 0.999, 1} {
+			if got := s.Quantile(q); got != float64(v) {
+				t.Errorf("single obs %d: Quantile(%v) = %v, want %v", v, q, got, v)
+			}
+		}
+		if s.P50 != float64(v) || s.P999 != float64(v) {
+			t.Errorf("single obs %d: stat quantiles = %+v", v, s)
+		}
+	}
+}
+
+// TestQuantileBucketEdgeExactness pins that a histogram whose containing
+// bucket collapses to one distinct power-of-two value reports that value
+// exactly: the min/max clamp removes all within-bucket interpolation
+// error.
+func TestQuantileBucketEdgeExactness(t *testing.T) {
+	for _, v := range []int64{1, 2, 16, 1 << 20} {
+		r := NewRegistry()
+		r.SetEnabled(true)
+		h := r.Histogram("q.lat_ns")
+		for i := 0; i < 1000; i++ {
+			h.Observe(v)
+		}
+		s := h.Stat()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			if got := s.Quantile(q); got != float64(v) {
+				t.Errorf("all-equal %d: Quantile(%v) = %v, want %v", v, q, got, v)
+			}
+		}
+	}
+}
+
+// TestQuantileTwoPointSplit pins which bucket a mid-distribution rank
+// resolves to: 90 observations of 1 and 10 of 1024 put p50 in the low
+// bucket and p99 in the high one.
+func TestQuantileTwoPointSplit(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("q.lat_ns")
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1024)
+	}
+	s := h.Stat()
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	if got := s.Quantile(0.99); got != 1024 {
+		t.Errorf("p99 = %v, want 1024 (clamped to the single high value)", got)
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 1024 {
+		t.Errorf("extremes = %v / %v", s.Quantile(0), s.Quantile(1))
+	}
+}
+
+// TestQuantileCrossCheckRandom checks the bucket estimator against sorted
+// sample quantiles on random data: the estimate must land within the
+// containing bucket's factor-of-2 width of the true sample quantile.
+func TestQuantileCrossCheckRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dist := range []struct {
+		name string
+		draw func() int64
+	}{
+		{"uniform", func() int64 { return rng.Int63n(1 << 20) }},
+		{"exponential", func() int64 { return int64(rng.ExpFloat64() * 5000) }},
+		{"lognormal", func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 8)) }},
+	} {
+		r := NewRegistry()
+		r.SetEnabled(true)
+		h := r.Histogram("q.lat_ns")
+		samples := make([]int64, 5000)
+		for i := range samples {
+			v := dist.draw()
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Stat()
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			got := s.Quantile(q)
+			want := sampleQuantile(samples, q)
+			// The estimate and the truth must agree within one base-2
+			// bucket: got in [want/2 - 1, 2*want + 1].
+			if got < want/2-1 || got > 2*want+1 {
+				t.Errorf("%s: Quantile(%v) = %v, sample quantile %v (outside factor-2 bucket bound)",
+					dist.name, q, got, want)
+			}
+		}
+		if s.P50 != s.Quantile(0.5) || s.P99 != s.Quantile(0.99) {
+			t.Errorf("%s: stat fields disagree with Quantile", dist.name)
+		}
+	}
+}
+
+// TestQuantileDeltaWindow pins that Delta subtracts bucket counts, so the
+// delta's quantiles describe only the window's observations.
+func TestQuantileDeltaWindow(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("q.lat_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // before the window: all tiny
+	}
+	before := r.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(4096) // the window: all large
+	}
+	d := r.Snapshot().Delta(before)
+	dh := d.Histograms["q.lat_ns"]
+	if dh.Count != 100 {
+		t.Fatalf("delta count = %d", dh.Count)
+	}
+	if dh.P50 != 4096 || dh.P99 != 4096 {
+		t.Errorf("window quantiles = p50 %v p99 %v, want 4096 (pre-window 1s must not dilute)", dh.P50, dh.P99)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 0 {
+		t.Errorf("bucket 0 bounds = [%v,%v)", lo, hi)
+	}
+	if lo, hi := BucketBounds(4); lo != 8 || hi != 16 {
+		t.Errorf("bucket 4 bounds = [%v,%v), want [8,16)", lo, hi)
+	}
+	for _, tc := range []struct {
+		i    int
+		want int64
+	}{{0, 0}, {1, 1}, {2, 3}, {4, 15}, {63, math.MaxInt64}, {64, math.MaxInt64}} {
+		if got := BucketUpperBound(tc.i); got != tc.want {
+			t.Errorf("BucketUpperBound(%d) = %d, want %d", tc.i, got, tc.want)
+		}
+	}
+}

@@ -61,9 +61,12 @@ func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges verbatim under their
-// sanitized names, histograms as summaries (<name>_count, <name>_sum) with
-// run-wide <name>_min/<name>_max/<name>_mean gauges alongside. Families
-// are name-sorted so scrapes diff cleanly.
+// sanitized names, histograms as native Prometheus histograms — the full
+// cumulative `<name>_bucket{le="..."}` series (base-2 boundaries; empty
+// buckets elided, `+Inf` always present) plus `<name>_sum` and
+// `<name>_count`, so scrapers can run histogram_quantile — with run-wide
+// <name>_min/_max/_mean and derived _p50/_p90/_p99/_p999 gauges
+// alongside. Families are name-sorted so scrapes diff cleanly.
 func WritePrometheus(w io.Writer, s obs.Snapshot) error {
 	var b bytes.Buffer
 	for _, name := range sortedKeys(s.Counters) {
@@ -79,12 +82,24 @@ func WritePrometheus(w io.Writer, s obs.Snapshot) error {
 	for _, name := range sortedKeys(s.Histograms) {
 		m := SanitizeMetricName(name)
 		h := s.Histograms[name]
-		fmt.Fprintf(&b, "# HELP %s obs histogram %s\n# TYPE %s summary\n%s_sum %d\n%s_count %d\n",
-			m, name, m, m, h.Sum, m, h.Count)
+		fmt.Fprintf(&b, "# HELP %s obs histogram %s\n# TYPE %s histogram\n", m, name, m)
+		var cum int64
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", m, obs.BucketUpperBound(i), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", m, h.Sum, m, h.Count)
 		for _, g := range []struct {
 			suffix string
 			v      float64
-		}{{"max", float64(h.Max)}, {"mean", h.Mean}, {"min", float64(h.Min)}} {
+		}{
+			{"max", float64(h.Max)}, {"mean", h.Mean}, {"min", float64(h.Min)},
+			{"p50", h.P50}, {"p90", h.P90}, {"p99", h.P99}, {"p999", h.P999},
+		} {
 			fmt.Fprintf(&b, "# TYPE %s_%s gauge\n%s_%s %s\n", m, g.suffix, m, g.suffix, promFloat(g.v))
 		}
 	}
@@ -115,6 +130,7 @@ type Health struct {
 type Server struct {
 	reg     *obs.Registry
 	journal *obs.Journal // nil: /journal responds 404
+	tracer  *obs.Tracer  // never nil; /trace serves its dump
 	start   time.Time
 	phase   atomic.Value // string
 	mux     *http.ServeMux
@@ -123,11 +139,13 @@ type Server struct {
 }
 
 // New builds a server over reg (usually obs.Default()) and journal (may be
-// nil when no run journal exists; /journal then responds 404).
+// nil when no run journal exists; /journal then responds 404). The /trace
+// endpoint serves the process-wide obs.DefaultTracer dump.
 func New(reg *obs.Registry, journal *obs.Journal) *Server {
 	s := &Server{
 		reg:     reg,
 		journal: journal,
+		tracer:  obs.DefaultTracer(),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		done:    make(chan struct{}),
@@ -138,6 +156,7 @@ func New(reg *obs.Registry, journal *obs.Journal) *Server {
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/journal", s.handleJournal)
+	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -191,7 +210,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "/snapshot       obs.Snapshot JSON\n")
 	fmt.Fprint(w, "/healthz        phase + uptime\n")
 	fmt.Fprint(w, "/journal        SSE tail of the run journal\n")
+	fmt.Fprint(w, "/trace          collected trace spans as an obs.TraceDump (JSON)\n")
 	fmt.Fprint(w, "/debug/pprof/   stdlib profiling handlers\n")
+}
+
+// handleTrace serves the tracer's collected spans as a TraceDump, the
+// payload a remote client merges into its own Chrome trace export
+// (obs.Tracer.AddProcess) to interleave server-side spans with its own.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.tracer.Dump("singlingout server")) //nolint:errcheck // client gone
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -58,7 +58,16 @@ func parsePrometheus(t *testing.T, body string) map[string]float64 {
 		if len(fields) != 2 {
 			t.Fatalf("malformed sample line %q", line)
 		}
-		if !promNameRe.MatchString(fields[0]) {
+		// Histogram bucket samples carry an {le="..."} label; the bare
+		// name before the brace must still be a valid identifier.
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "\"}") || !strings.Contains(name[i:], "le=\"") {
+				t.Fatalf("malformed labeled sample %q", fields[0])
+			}
+			name = name[:i]
+		}
+		if !promNameRe.MatchString(name) {
 			t.Fatalf("invalid sample name %q", fields[0])
 		}
 		v, err := strconv.ParseFloat(fields[1], 64)
@@ -121,6 +130,10 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 		"par_item_ns_min":       10,
 		"par_item_ns_max":       30,
 		"par_item_ns_mean":      20,
+		// Cumulative base-2 buckets: 10 is in [8,15], 20 and 30 in [16,31].
+		`par_item_ns_bucket{le="15"}`:   1,
+		`par_item_ns_bucket{le="31"}`:   3,
+		`par_item_ns_bucket{le="+Inf"}`: 3,
 	}
 	for name, v := range want {
 		if samples[name] != v {

@@ -90,6 +90,12 @@ func (t *Tool) Start() error {
 // -serve); mains use it to decide between Run and RunInstrumented.
 func (t *Tool) Observing() bool { return t.journal != nil }
 
+// SpanExport reports whether -spans was requested, i.e. whether Close
+// will write a Chrome trace. Mains that can merge a remote process's
+// spans (reconstruct -remote) use it to decide whether fetching the
+// server's /trace dump is worth a round trip.
+func (t *Tool) SpanExport() bool { return *t.spansPath != "" }
+
 // Journal returns the run journal (nil when not observing).
 func (t *Tool) Journal() *obs.Journal { return t.journal }
 

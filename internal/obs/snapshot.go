@@ -2,13 +2,73 @@ package obs
 
 import "sort"
 
-// HistStat is a point-in-time histogram summary.
+// HistStat is a point-in-time histogram summary. Buckets carries the
+// base-2 bucket counts (index i counts observations v with
+// bits.Len64(v) == i; trailing empty buckets trimmed), from which the
+// P50/P90/P99/P999 quantile estimates are derived — see Quantile for the
+// estimator and its error bound.
 type HistStat struct {
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	Min   int64   `json:"min"`
-	Max   int64   `json:"max"`
-	Mean  float64 `json:"mean"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50,omitempty"`
+	P90     float64 `json:"p90,omitempty"`
+	P99     float64 `json:"p99,omitempty"`
+	P999    float64 `json:"p999,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the base-2 bucket
+// counts: the containing bucket is located by cumulative rank and the
+// value is linearly interpolated inside it, clamped to the observed
+// [Min, Max]. The estimate is exact when the containing bucket holds a
+// single distinct value at a bucket edge (all-equal and single-sample
+// histograms included) and is otherwise within the bucket's factor-of-2
+// width of the true sample quantile. Returns 0 on an empty histogram.
+func (s HistStat) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(s.Min)
+	}
+	if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c <= 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= rank {
+			// Interpolate over the bucket's inclusive integer range
+			// [lo, upper] so the single-value buckets (0 and 1) are exact.
+			lo, _ := BucketBounds(i)
+			upper := float64(BucketUpperBound(i))
+			v := lo + (rank-cum)/fc*(upper-lo)
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum += fc
+	}
+	return float64(s.Max)
+}
+
+// fillQuantiles populates the fixed quantile fields from Buckets.
+func (s *HistStat) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry. It is
@@ -69,6 +129,19 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			continue
 		}
 		dh.Mean = float64(dh.Sum) / float64(dh.Count)
+		// Bucket counts are cumulative and subtract cleanly, so the delta
+		// carries quantiles of the work done in the window (min/max stay
+		// run-wide; the clamp in Quantile still uses them as a safe hull).
+		if len(h.Buckets) > 0 {
+			dh.Buckets = make([]int64, len(h.Buckets))
+			copy(dh.Buckets, h.Buckets)
+			for i := range p.Buckets {
+				if i < len(dh.Buckets) {
+					dh.Buckets[i] -= p.Buckets[i]
+				}
+			}
+			dh.fillQuantiles()
+		}
 		d.Histograms[name] = dh
 	}
 	return d
@@ -86,8 +159,9 @@ type Metric struct {
 }
 
 // Flat flattens the snapshot into name-sorted metrics suitable for table
-// footers: counters and gauges verbatim, histograms as <name>.count and
-// <name>.mean.
+// footers: counters and gauges verbatim, histograms as <name>.count,
+// <name>.mean, and (when bucket counts are present) <name>.p50 and
+// <name>.p99.
 func (s Snapshot) Flat() []Metric {
 	var out []Metric
 	for name, v := range s.Counters {
@@ -99,6 +173,10 @@ func (s Snapshot) Flat() []Metric {
 	for name, h := range s.Histograms {
 		out = append(out, Metric{Name: name + ".count", Value: float64(h.Count)})
 		out = append(out, Metric{Name: name + ".mean", Value: h.Mean})
+		if len(h.Buckets) > 0 {
+			out = append(out, Metric{Name: name + ".p50", Value: h.P50})
+			out = append(out, Metric{Name: name + ".p99", Value: h.P99})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

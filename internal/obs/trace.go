@@ -62,6 +62,16 @@ type Tracer struct {
 	nextTID int
 	limit   int
 	dropped int64
+	procs   []traceProc // merged remote processes (AddProcess)
+}
+
+// traceProc is one merged remote process: its events are already re-based
+// to this tracer's epoch and stamped with their own pid.
+type traceProc struct {
+	pid    int
+	name   string
+	lanes  map[int]string
+	events []TraceEvent
 }
 
 // NewTracer returns an empty, disabled tracer with the default event
@@ -129,6 +139,7 @@ func (t *Tracer) reset() {
 	t.nextTID = MainLane
 	t.limit = DefaultTraceLimit
 	t.dropped = 0
+	t.procs = nil
 }
 
 // NewLane allocates a fresh timeline lane (Chrome trace tid) with the
@@ -155,6 +166,21 @@ type TraceSpan struct {
 	id     SpanID
 	parent SpanID
 	begin  time.Time
+	args   map[string]any
+}
+
+// WithArg attaches one key/value argument to the span's exported event
+// (e.g. the wire trace id a remote client propagates). No-op on the zero
+// TraceSpan; returns the span for chaining.
+func (s TraceSpan) WithArg(key string, v any) TraceSpan {
+	if s.t == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = v
+	return s
 }
 
 // ID returns the span's id (NoSpan for a disabled span), usable as the
@@ -189,6 +215,9 @@ func (s TraceSpan) End() {
 	args := map[string]any{"id": int64(s.id)}
 	if s.parent != NoSpan {
 		args["parent"] = int64(s.parent)
+	}
+	for k, v := range s.args {
+		args[k] = v
 	}
 	t := s.t
 	t.mu.Lock()
@@ -230,6 +259,81 @@ func (t *Tracer) Lanes() map[int]string {
 	return out
 }
 
+// TraceDump is the transportable form of a tracer's collected state. The
+// serve package's /trace endpoint returns it and Tracer.AddProcess merges
+// a remote process's dump into a local export, which is how a
+// `reconstruct -remote -spans` run folds the qserver's server-side spans
+// into one Chrome trace next to its own client-side lanes. Epoch is the
+// wall-clock instant of timestamp zero (unix microseconds): two processes
+// on the same host share a wall clock, so re-basing one epoch onto the
+// other interleaves their spans on a single timeline.
+type TraceDump struct {
+	V               int            `json:"v"`
+	Process         string         `json:"process"`
+	EpochUnixMicros int64          `json:"epoch_unix_us"`
+	Lanes           map[int]string `json:"lanes"`
+	Events          []TraceEvent   `json:"events"`
+	Dropped         int64          `json:"dropped"`
+}
+
+// TraceDumpV is the TraceDump schema version.
+const TraceDumpV = 1
+
+// Dump snapshots the tracer's collected spans for transport (the /trace
+// endpoint). process names the producing process in the merged export.
+func (t *Tracer) Dump(process string) TraceDump {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := TraceDump{
+		V:       TraceDumpV,
+		Process: process,
+		Lanes:   make(map[int]string, len(t.lanes)),
+		Events:  make([]TraceEvent, len(t.events)),
+		Dropped: t.dropped,
+	}
+	if !t.start.IsZero() {
+		d.EpochUnixMicros = t.start.UnixMicro()
+	}
+	for tid, name := range t.lanes {
+		d.Lanes[tid] = name
+	}
+	copy(d.Events, t.events)
+	return d
+}
+
+// AddProcess merges a remote process's trace dump into this tracer's next
+// export: the dump's events keep their own lanes under a fresh Chrome
+// trace pid and are re-based from the dump's epoch onto this tracer's, so
+// WriteChromeTrace renders both processes interleaved on one timeline.
+// Merged events do not count against the local retention limit (the
+// remote tracer already applied its own).
+func (t *Tracer) AddProcess(d TraceDump) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	shift := 0.0
+	if !t.start.IsZero() && d.EpochUnixMicros != 0 {
+		shift = float64(d.EpochUnixMicros - t.start.UnixMicro())
+	}
+	p := traceProc{
+		pid:    tracePID + 1 + len(t.procs),
+		name:   d.Process,
+		lanes:  make(map[int]string, len(d.Lanes)),
+		events: make([]TraceEvent, len(d.Events)),
+	}
+	if p.name == "" {
+		p.name = fmt.Sprintf("process %d", p.pid)
+	}
+	for tid, name := range d.Lanes {
+		p.lanes[tid] = name
+	}
+	for i, e := range d.Events {
+		e.TS += shift
+		e.PID = p.pid
+		p.events[i] = e
+	}
+	t.procs = append(t.procs, p)
+}
+
 // chromeTrace is the top-level JSON object Perfetto loads.
 type chromeTrace struct {
 	TraceEvents     []TraceEvent `json:"traceEvents"`
@@ -249,8 +353,13 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		lanes[tid] = name
 	}
 	dropped := t.dropped
+	procs := make([]traceProc, len(t.procs))
+	copy(procs, t.procs)
 	t.mu.Unlock()
 
+	for _, p := range procs {
+		events = append(events, p.events...)
+	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
 
 	meta := []TraceEvent{{
@@ -267,6 +376,23 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Name: "thread_name", Ph: "M", PID: tracePID, TID: tid,
 			Args: map[string]any{"name": lanes[tid]},
 		})
+	}
+	for _, p := range procs {
+		meta = append(meta, TraceEvent{
+			Name: "process_name", Ph: "M", PID: p.pid,
+			Args: map[string]any{"name": p.name},
+		})
+		ptids := make([]int, 0, len(p.lanes))
+		for tid := range p.lanes {
+			ptids = append(ptids, tid)
+		}
+		sort.Ints(ptids)
+		for _, tid := range ptids {
+			meta = append(meta, TraceEvent{
+				Name: "thread_name", Ph: "M", PID: p.pid, TID: tid,
+				Args: map[string]any{"name": p.lanes[tid]},
+			})
+		}
 	}
 	if dropped > 0 {
 		meta = append(meta, TraceEvent{

@@ -5,12 +5,21 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"singlingout/internal/diffix"
+	"singlingout/internal/obs"
 	"singlingout/internal/query"
+)
+
+// Metric names recorded by the client Oracle.
+const (
+	MetricClientRetries = "remote.retries"    // retried chunk submissions
+	MetricClientBackoff = "remote.backoff_ns" // per-retry backoff sleeps
 )
 
 // Options configures a client Oracle. The zero value is usable: exact
@@ -32,16 +41,31 @@ type Options struct {
 	Backoff time.Duration
 	// Client is the HTTP client; nil means http.DefaultClient.
 	Client *http.Client
+	// Registry receives the client's remote.* metrics; nil means
+	// obs.Default().
+	Registry *obs.Registry
+	// Journal receives query_retry events (one per retried attempt); nil
+	// means none.
+	Journal *obs.Journal
 }
 
 // Oracle is the client side of the query service: a query.Oracle whose
 // Answer travels over HTTP. Attacks in package recon and the experiment
 // harnesses run against it exactly as against an in-process oracle; the
-// network, batching, retry and budget semantics live here.
+// network, batching, retry and budget semantics live here. Every POST is
+// traced (when the default tracer is enabled) and stamped with the wire
+// trace headers, so the server's journal and ledger entries correlate
+// back to this client's spans.
 type Oracle struct {
-	base string
-	opts Options
-	meta Meta
+	base   string
+	opts   Options
+	meta   Meta
+	trace  string // wire trace id, stable for the oracle's lifetime
+	tracer *obs.Tracer
+	lane   int
+
+	retries *obs.Counter
+	backoff *obs.Histogram
 }
 
 // Dial fetches baseURL/v1/meta and returns an Oracle bound to that
@@ -60,7 +84,20 @@ func Dial(ctx context.Context, baseURL string, opts Options) (*Oracle, error) {
 	if opts.Client == nil {
 		opts.Client = http.DefaultClient
 	}
-	o := &Oracle{base: baseURL, opts: opts}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	tracer := obs.DefaultTracer()
+	o := &Oracle{
+		base:    baseURL,
+		opts:    opts,
+		trace:   traceID(baseURL, opts.Backend, opts.Analyst),
+		tracer:  tracer,
+		lane:    tracer.NewLane("remote client " + opts.Backend),
+		retries: reg.Counter(MetricClientRetries),
+		backoff: reg.Histogram(MetricClientBackoff),
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/meta", nil)
 	if err != nil {
 		return nil, fmt.Errorf("remote: %w", err)
@@ -92,6 +129,73 @@ func Dial(ctx context.Context, baseURL string, opts Options) (*Oracle, error) {
 // backends, budget).
 func (o *Oracle) Meta() Meta { return o.meta }
 
+// TraceID returns the oracle's wire trace id: 16 hex characters,
+// deterministically derived from (base URL, backend, analyst), stamped on
+// every POST as the X-Trace-Id header. A merged Chrome trace filters the
+// server's dump on it to keep only this client's spans.
+func (o *Oracle) TraceID() string { return o.trace }
+
+// traceID derives the deterministic wire trace id for one client
+// identity (FNV-1a, same family as the ledger's batch hash).
+func traceID(base, backend, analyst string) string {
+	h := fnv.New64a()
+	for _, s := range []string{base, backend, analyst} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FetchTrace GETs the server's /trace endpoint: its collected spans as an
+// obs.TraceDump, ready for Tracer.AddProcess on the client side.
+func (o *Oracle) FetchTrace(ctx context.Context) (obs.TraceDump, error) {
+	var d obs.TraceDump
+	if err := o.getJSON(ctx, "/trace", &d); err != nil {
+		return d, err
+	}
+	if d.V != obs.TraceDumpV {
+		return d, fmt.Errorf("remote: trace dump version %d, want %d", d.V, obs.TraceDumpV)
+	}
+	return d, nil
+}
+
+// FetchLedger GETs the server's privacy-loss ledger (all analysts when
+// analyst is empty).
+func (o *Oracle) FetchLedger(ctx context.Context, analyst string) (LedgerResponse, error) {
+	path := "/v1/ledger"
+	if analyst != "" {
+		path += "?analyst=" + analyst
+	}
+	var lr LedgerResponse
+	if err := o.getJSON(ctx, path, &lr); err != nil {
+		return lr, err
+	}
+	if lr.V != V {
+		return lr, fmt.Errorf("remote: ledger wire version %d, want %d", lr.V, V)
+	}
+	return lr, nil
+}
+
+// getJSON GETs base+path and decodes the JSON body into v.
+func (o *Oracle) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, o.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	resp, err := o.opts.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: GET %s returned %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(v); err != nil {
+		return fmt.Errorf("remote: GET %s: undecodable body: %w", path, err)
+	}
+	return nil
+}
+
 // N implements query.Oracle.
 func (o *Oracle) N() int { return o.meta.N }
 
@@ -122,7 +226,10 @@ func (o *Oracle) Answer(ctx context.Context, queries [][]int) ([]float64, error)
 	return out, nil
 }
 
-// submit POSTs one chunk, retrying transient failures.
+// submit POSTs one chunk, retrying transient failures. Each retry bumps
+// the remote.retries counter, records the backoff sleep into
+// remote.backoff_ns, and (when a journal is configured) emits one
+// query_retry event naming the attempt and the transient error.
 func (o *Oracle) submit(ctx context.Context, chunk [][]int) ([]float64, error) {
 	body, err := json.Marshal(QueryRequest{V: V, Analyst: o.opts.Analyst, Queries: chunk})
 	if err != nil {
@@ -139,6 +246,9 @@ func (o *Oracle) submit(ctx context.Context, chunk [][]int) ([]float64, error) {
 			return nil, lastErr
 		}
 		delay := o.opts.Backoff << uint(attempt)
+		o.retries.Add(1)
+		o.backoff.Observe(delay.Nanoseconds())
+		o.journalRetry(attempt+1, len(chunk), err)
 		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -147,6 +257,22 @@ func (o *Oracle) submit(ctx context.Context, chunk [][]int) ([]float64, error) {
 		case <-t.C:
 		}
 	}
+}
+
+// journalRetry emits one query_retry event (when a journal is
+// configured): which backend, which attempt is about to run, how many
+// queries the chunk carries, and the transient error being retried.
+func (o *Oracle) journalRetry(attempt, queries int, err error) {
+	if o.opts.Journal == nil {
+		return
+	}
+	_ = o.opts.Journal.Emit(obs.Event{
+		Phase: "query_retry",
+		ID:    o.opts.Backend,
+		Trace: o.trace,
+		Sizes: map[string]int{"attempt": attempt, "queries": queries},
+		Error: err.Error(),
+	})
 }
 
 // post performs one HTTP attempt. retryable marks transient failures
@@ -159,6 +285,18 @@ func (o *Oracle) post(ctx context.Context, body []byte, want int) (answers []flo
 		return nil, false, fmt.Errorf("remote: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the trace over the wire: the server continues this span
+	// (X-Parent-Span becomes its span's parent) and stamps its journal
+	// events and ledger entries with X-Trace-Id.
+	sp := o.tracer.Begin("query_post", "remote", o.lane, obs.NoSpan).WithArg("trace", o.trace)
+	defer sp.End()
+	req.Header.Set(HeaderTraceID, o.trace)
+	if id := sp.ID(); id != obs.NoSpan {
+		req.Header.Set(HeaderParentSpan, strconv.FormatInt(int64(id), 10))
+	}
+	if o.opts.Analyst != "" {
+		req.Header.Set(HeaderAnalyst, o.opts.Analyst)
+	}
 	resp, err := o.opts.Client.Do(req)
 	if err != nil {
 		return nil, true, fmt.Errorf("remote: query server unreachable: %w", err)

@@ -1,0 +1,133 @@
+package remote
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// ledger is the server's append-only privacy-loss accounting: every
+// budget movement (spend, refund, denial) becomes an immutable
+// LedgerEntry, and the per-analyst totals the server enforces are derived
+// state — ReplayLedger over the entry history reconstructs them exactly.
+// This replaces the bare analyst->int budget map: the paper's framing is
+// that privacy loss is a quantifiable, accountable resource, and a flat
+// counter cannot answer an auditor's "when did this analyst cross half
+// their budget, and on which queries?".
+//
+// Sequence numbers are timestamp-free by design: under a deterministic
+// (sequential) workload the whole ledger is byte-identical across runs,
+// which is what lets cmd/loadgen pin its two-run invariance test on the
+// ledger summary.
+type ledger struct {
+	mu      sync.Mutex
+	entries []LedgerEntry
+	totals  map[string]int
+	nextSeq int64
+}
+
+func newLedger() *ledger {
+	return &ledger{totals: map[string]int{}}
+}
+
+// add appends one entry under the held lock and returns it.
+func (l *ledger) add(op, analyst, backend, hash, trace string, cost, cumulative int) LedgerEntry {
+	l.nextSeq++
+	e := LedgerEntry{
+		Seq: l.nextSeq, Analyst: analyst, Op: op, Backend: backend,
+		QueryHash: hash, Cost: cost, Cumulative: cumulative, Trace: trace,
+	}
+	l.entries = append(l.entries, e)
+	return e
+}
+
+// spend atomically checks the analyst's budget and appends either a spend
+// entry (reserving cost fresh queries) or a deny entry (budget > 0 and
+// the reservation would exceed it; the cumulative is left unmoved). ok
+// reports whether the reservation was granted. budget == 0 never denies.
+func (l *ledger) spend(analyst, backend, hash, trace string, cost, budget int) (e LedgerEntry, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.totals[analyst]
+	if budget > 0 && cur+cost > budget {
+		return l.add(LedgerDeny, analyst, backend, hash, trace, cost, cur), false
+	}
+	cur += cost
+	l.totals[analyst] = cur
+	return l.add(LedgerSpend, analyst, backend, hash, trace, cost, cur), true
+}
+
+// refund reverses a prior spend (a batch that failed while being
+// answered): the analyst's cumulative drops by cost.
+func (l *ledger) refund(analyst, backend, hash, trace string, cost int) LedgerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.totals[analyst] - cost
+	l.totals[analyst] = cur
+	return l.add(LedgerRefund, analyst, backend, hash, trace, cost, cur)
+}
+
+// total returns the analyst's current net spend.
+func (l *ledger) total(analyst string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totals[analyst]
+}
+
+// snapshot copies the entry history (filtered to one analyst when
+// analyst != "") and the current totals.
+func (l *ledger) snapshot(analyst string) ([]LedgerEntry, map[string]int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var entries []LedgerEntry
+	for _, e := range l.entries {
+		if analyst == "" || e.Analyst == analyst {
+			entries = append(entries, e)
+		}
+	}
+	totals := make(map[string]int, len(l.totals))
+	for a, v := range l.totals {
+		totals[a] = v
+	}
+	return entries, totals
+}
+
+// ReplayLedger folds an entry history back into the per-analyst net
+// totals: spends add their cost, refunds subtract it, denials move
+// nothing. An auditor replaying a /ledger response (or the budget.*
+// journal events) must land exactly on the server's enforced state; the
+// per-entry Cumulative field is cross-checked so a tampered or reordered
+// history fails loudly instead of replaying to a plausible wrong total.
+func ReplayLedger(entries []LedgerEntry) (map[string]int, error) {
+	totals := map[string]int{}
+	for i, e := range entries {
+		switch e.Op {
+		case LedgerSpend:
+			totals[e.Analyst] += e.Cost
+		case LedgerRefund:
+			totals[e.Analyst] -= e.Cost
+		case LedgerDeny:
+			// no movement
+		default:
+			return nil, fmt.Errorf("remote: ledger entry %d (seq %d): unknown op %q", i, e.Seq, e.Op)
+		}
+		if totals[e.Analyst] != e.Cumulative {
+			return nil, fmt.Errorf("remote: ledger entry %d (seq %d): replayed cumulative %d for %q, entry says %d",
+				i, e.Seq, totals[e.Analyst], e.Analyst, e.Cumulative)
+		}
+	}
+	return totals, nil
+}
+
+// batchHash is the canonical content hash of one batch's fresh queries
+// (FNV-1a over the backend-qualified cache keys), the query_hash the
+// ledger records so an auditor can tie a budget movement back to exactly
+// which canonical queries were charged.
+func batchHash(keys []string) string {
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

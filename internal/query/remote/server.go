@@ -18,14 +18,16 @@ import (
 
 // Metric names recorded by the server into its registry.
 const (
-	MetricRequests     = "qserver.requests"
-	MetricBatchQueries = "qserver.batch_queries"
-	MetricCacheHits    = "qserver.cache_hits"
-	MetricCacheMisses  = "qserver.cache_misses"
-	MetricBudgetDenied = "qserver.budget_denied"
-	MetricErrors       = "qserver.errors"
-	MetricLatency      = "qserver.latency_ns"
-	MetricCacheSize    = "qserver.cache_size"
+	MetricRequests       = "qserver.requests"
+	MetricBatchQueries   = "qserver.batch_queries"
+	MetricCacheHits      = "qserver.cache_hits"
+	MetricCacheMisses    = "qserver.cache_misses"
+	MetricBudgetDenied   = "qserver.budget_denied"
+	MetricBudgetSpent    = "qserver.budget_spent"    // fresh queries charged, all analysts
+	MetricBudgetRefunded = "qserver.budget_refunded" // fresh queries refunded on failed batches
+	MetricErrors         = "qserver.errors"
+	MetricLatency        = "qserver.latency_ns"
+	MetricCacheSize      = "qserver.cache_size"
 )
 
 // ServerConfig configures a query server. The dataset is generated, not
@@ -47,6 +49,7 @@ type ServerConfig struct {
 
 	Registry *obs.Registry // nil = obs.Default()
 	Journal  *obs.Journal  // nil = no journal events
+	Tracer   *obs.Tracer   // nil = obs.DefaultTracer(); server-side spans when enabled
 }
 
 // Server answers statistical queries over HTTP. It owns the only copy of
@@ -61,19 +64,24 @@ type Server struct {
 	names    []string
 	gate     *par.Gate
 	mux      *http.ServeMux
+	tracer   *obs.Tracer
+	lane     int // trace lane of the query handler
 
-	mu     sync.Mutex
-	cache  map[string]float64 // "<backend>|<canonical query>" -> answer
-	budget map[string]int     // analyst -> fresh queries spent
+	mu    sync.Mutex
+	cache map[string]float64 // "<backend>|<canonical query>" -> answer
 
-	requests     *obs.Counter
-	batchQueries *obs.Counter
-	cacheHits    *obs.Counter
-	cacheMisses  *obs.Counter
-	budgetDenied *obs.Counter
-	errs         *obs.Counter
-	latency      *obs.Histogram
-	cacheSize    *obs.Gauge
+	ledger *ledger // append-only per-analyst budget accounting
+
+	requests       *obs.Counter
+	batchQueries   *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	budgetDenied   *obs.Counter
+	budgetSpent    *obs.Counter
+	budgetRefunded *obs.Counter
+	errs           *obs.Counter
+	latency        *obs.Histogram
+	cacheSize      *obs.Gauge
 }
 
 // NewServer builds a Server from cfg, generating the dataset and the
@@ -104,6 +112,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if reg == nil {
 		reg = obs.Default()
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer()
+	}
 	x := Dataset(cfg.Seed, cfg.N, cfg.P)
 	s := &Server{
 		cfg: cfg,
@@ -114,17 +126,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			"diffix":  &diffix.Cloak{X: x, SD: cfg.SD, Threshold: cfg.Threshold, Seed: cfg.Seed},
 		},
 		gate:   par.NewGate(cfg.MaxConcurrent),
+		tracer: tracer,
+		lane:   tracer.NewLane("qserver http"),
 		cache:  make(map[string]float64),
-		budget: make(map[string]int),
+		ledger: newLedger(),
 
-		requests:     reg.Counter(MetricRequests),
-		batchQueries: reg.Counter(MetricBatchQueries),
-		cacheHits:    reg.Counter(MetricCacheHits),
-		cacheMisses:  reg.Counter(MetricCacheMisses),
-		budgetDenied: reg.Counter(MetricBudgetDenied),
-		errs:         reg.Counter(MetricErrors),
-		latency:      reg.Histogram(MetricLatency),
-		cacheSize:    reg.Gauge(MetricCacheSize),
+		requests:       reg.Counter(MetricRequests),
+		batchQueries:   reg.Counter(MetricBatchQueries),
+		cacheHits:      reg.Counter(MetricCacheHits),
+		cacheMisses:    reg.Counter(MetricCacheMisses),
+		budgetDenied:   reg.Counter(MetricBudgetDenied),
+		budgetSpent:    reg.Counter(MetricBudgetSpent),
+		budgetRefunded: reg.Counter(MetricBudgetRefunded),
+		errs:           reg.Counter(MetricErrors),
+		latency:        reg.Histogram(MetricLatency),
+		cacheSize:      reg.Gauge(MetricCacheSize),
 	}
 	for name := range s.backends {
 		s.names = append(s.names, name)
@@ -133,6 +149,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/meta", s.handleMeta)
 	s.mux.HandleFunc("/v1/query/", s.handleQuery)
+	s.mux.HandleFunc("/v1/ledger", s.handleLedger)
+	s.mux.HandleFunc("/ledger", s.handleLedger)
 	return s, nil
 }
 
@@ -171,6 +189,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
 		return
 	}
+	// Continue the client's trace: the span this handler records carries
+	// the wire trace id and reports the client-side span as its parent,
+	// so a merged Chrome trace (client /trace fetch + AddProcess) shows
+	// the server lane nested under the client's batch span.
+	trace := r.Header.Get(HeaderTraceID)
+	var parent obs.SpanID
+	if v := r.Header.Get(HeaderParentSpan); v != "" {
+		if id, err := strconv.ParseInt(v, 10, 64); err == nil {
+			parent = obs.SpanID(id)
+		}
+	}
+	tsp := s.tracer.Begin("query_batch", "qserver", s.lane, parent)
+	if trace != "" {
+		tsp = tsp.WithArg("trace", trace)
+	}
+	defer tsp.End()
 	ctx := r.Context()
 	if err := s.gate.Enter(ctx); err != nil {
 		s.fail(w, http.StatusServiceUnavailable, CodeInternal, "cancelled while waiting for a slot")
@@ -222,13 +256,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Cache pass under the lock: split the batch into hits and distinct
-	// misses, and reserve budget for the misses all-or-nothing. Only
-	// fresh (uncached) queries spend budget — asking again is free.
+	// misses. Only fresh (uncached) queries spend budget — asking again
+	// is free.
 	type missT struct {
 		key string
 		q   []int
 	}
 	var misses []missT
+	var missKeys []string
 	seen := make(map[string]bool)
 	cached := 0
 	s.mu.Lock()
@@ -240,22 +275,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if !seen[k] {
 			seen[k] = true
 			misses = append(misses, missT{k, canon[i]})
+			missKeys = append(missKeys, k)
 		}
-	}
-	fresh := len(misses)
-	if s.cfg.Budget > 0 {
-		spent := s.budget[analyst]
-		if spent+fresh > s.cfg.Budget {
-			s.mu.Unlock()
-			s.budgetDenied.Add(1)
-			s.journal(name, analyst, len(req.Queries), cached, fresh, CodeBudgetExhausted)
-			s.fail(w, http.StatusTooManyRequests, CodeBudgetExhausted,
-				fmt.Sprintf("analyst %q: %d fresh queries over budget (%d of %d spent)", analyst, fresh, spent, s.cfg.Budget))
-			return
-		}
-		s.budget[analyst] = spent + fresh
 	}
 	s.mu.Unlock()
+	fresh := len(misses)
+
+	// Reserve the fresh queries all-or-nothing against the ledger: a
+	// granted reservation appends a spend entry, a refused one a deny
+	// entry — either way the movement is on the audit trail before any
+	// backend runs. Zero-cost batches (all cached) leave no entry.
+	hash := batchHash(missKeys)
+	if fresh > 0 {
+		entry, ok := s.ledger.spend(analyst, name, hash, trace, fresh, s.cfg.Budget)
+		s.journalBudget(entry)
+		if !ok {
+			s.budgetDenied.Add(1)
+			s.journal(name, analyst, trace, len(req.Queries), cached, fresh, CodeBudgetExhausted)
+			s.fail(w, http.StatusTooManyRequests, CodeBudgetExhausted,
+				fmt.Sprintf("analyst %q: %d fresh queries over budget (%d of %d spent)",
+					analyst, fresh, entry.Cumulative, s.cfg.Budget))
+			return
+		}
+		s.budgetSpent.Add(int64(fresh))
+	}
 	s.cacheHits.Add(int64(cached))
 	s.cacheMisses.Add(int64(fresh))
 
@@ -270,12 +313,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fresh64[i] = a
 		return nil
 	}); err != nil {
-		// All-or-nothing: a failed batch spends nothing.
-		s.mu.Lock()
-		if s.cfg.Budget > 0 {
-			s.budget[analyst] -= fresh
+		// All-or-nothing: a failed batch spends nothing — the refund is
+		// its own ledger entry, so the audit trail shows the attempt.
+		if fresh > 0 {
+			s.journalBudget(s.ledger.refund(analyst, name, hash, trace, fresh))
+			s.budgetRefunded.Add(int64(fresh))
 		}
-		s.mu.Unlock()
 		status, code := http.StatusInternalServerError, CodeInternal
 		switch {
 		case errors.Is(err, diffix.ErrSuppressed):
@@ -285,7 +328,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, query.ErrBudgetExhausted):
 			status, code = http.StatusTooManyRequests, CodeBudgetExhausted
 		}
-		s.journal(name, analyst, len(req.Queries), cached, fresh, code)
+		s.journal(name, analyst, trace, len(req.Queries), cached, fresh, code)
 		s.fail(w, status, code, err.Error())
 		return
 	}
@@ -298,21 +341,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, k := range keys {
 		answers[i] = s.cache[k]
 	}
-	remaining := -1
-	if s.cfg.Budget > 0 {
-		remaining = s.cfg.Budget - s.budget[analyst]
-	}
 	s.cacheSize.Set(float64(len(s.cache)))
 	s.mu.Unlock()
+	remaining := -1
+	if s.cfg.Budget > 0 {
+		remaining = s.cfg.Budget - s.ledger.total(analyst)
+	}
 
-	s.journal(name, analyst, len(req.Queries), cached, fresh, "")
+	s.journal(name, analyst, trace, len(req.Queries), cached, fresh, "")
 	writeJSON(w, http.StatusOK, QueryResponse{V: V, Answers: answers, Cached: cached, BudgetRemaining: remaining})
 }
 
 // journal emits one run-journal event per query batch (when a journal is
-// configured): which backend, how much was cached vs freshly spent, and
-// the refusal code if the batch was refused.
-func (s *Server) journal(backend, analyst string, queries, cached, fresh int, code string) {
+// configured): which backend, how much was cached vs freshly spent, the
+// wire trace id, and the refusal code if the batch was refused.
+func (s *Server) journal(backend, analyst, trace string, queries, cached, fresh int, code string) {
 	if s.cfg.Journal == nil {
 		return
 	}
@@ -320,12 +363,45 @@ func (s *Server) journal(backend, analyst string, queries, cached, fresh int, co
 		Phase: "query_batch",
 		ID:    backend,
 		Seed:  s.cfg.Seed,
+		Trace: trace,
 		Sizes: map[string]int{"queries": queries, "cached": cached, "fresh": fresh},
 	}
 	if code != "" {
 		e.Error = code
 	}
 	_ = s.cfg.Journal.Emit(e)
+}
+
+// journalBudget emits one budget.spend / budget.refund / budget.deny
+// event per ledger entry (when a journal is configured), carrying the
+// sequence number, cost and cumulative so the journal alone replays to
+// the enforced budget state.
+func (s *Server) journalBudget(e LedgerEntry) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	_ = s.cfg.Journal.Emit(obs.Event{
+		Phase: "budget." + e.Op,
+		ID:    e.Analyst,
+		Seed:  s.cfg.Seed,
+		Trace: e.Trace,
+		Sizes: map[string]int{"seq": int(e.Seq), "cost": e.Cost, "cumulative": e.Cumulative},
+	})
+}
+
+// handleLedger serves the append-only privacy-loss ledger (GET, optional
+// ?analyst= filter): the full spend/refund/deny history plus the current
+// per-analyst net totals. Mounted at both /v1/ledger and /ledger.
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "GET only")
+		return
+	}
+	s.requests.Add(1)
+	entries, totals := s.ledger.snapshot(r.URL.Query().Get("analyst"))
+	writeJSON(w, http.StatusOK, LedgerResponse{
+		V: V, Budget: s.cfg.Budget, Totals: totals, Entries: entries,
+	})
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
@@ -354,12 +430,16 @@ func queryKey(backend string, canonical []int) string {
 	return b.String()
 }
 
-// BudgetSpent reports the fresh queries an analyst has spent (test and
-// telemetry hook).
+// BudgetSpent reports the fresh queries an analyst has net spent (test
+// and telemetry hook); it is the analyst's ledger total.
 func (s *Server) BudgetSpent(analyst string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.budget[analyst]
+	return s.ledger.total(analyst)
+}
+
+// Ledger returns the current entry history and totals (optionally
+// filtered to one analyst), the same view GET /v1/ledger serves.
+func (s *Server) Ledger(analyst string) ([]LedgerEntry, map[string]int) {
+	return s.ledger.snapshot(analyst)
 }
 
 // CacheLen reports the answer-cache population.

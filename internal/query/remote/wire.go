@@ -32,6 +32,59 @@ const (
 	CodeInternal        = "internal"         // 500: server-side failure
 )
 
+// Trace-propagation headers. The client stamps every query POST with
+// them; the server continues the span and stamps its journal events and
+// ledger entries with the trace id, so one distributed request is legible
+// end to end (see docs/INVARIANTS.md, "budget.* journal phases and trace
+// headers").
+const (
+	// HeaderTraceID carries the client's wire trace id (16 hex chars,
+	// deterministically derived from analyst/backend identity).
+	HeaderTraceID = "X-Trace-Id"
+	// HeaderParentSpan carries the client-side span id (decimal) the
+	// server-side span should report as its parent.
+	HeaderParentSpan = "X-Parent-Span"
+	// HeaderAnalyst duplicates the body's analyst identity at the HTTP
+	// layer so middleware and access logs can attribute without parsing.
+	HeaderAnalyst = "X-Analyst"
+)
+
+// Ledger entry operations. Spend and refund move the analyst's cumulative
+// budget; deny records a refused reservation without moving it.
+const (
+	LedgerSpend  = "spend"
+	LedgerRefund = "refund"
+	LedgerDeny   = "deny"
+)
+
+// LedgerEntry is one line of the append-only per-analyst privacy-loss
+// ledger. Entries are ordered by Seq (a server-global sequence number —
+// deliberately timestamp-free, so a fixed workload replays to an
+// identical ledger) and carry enough to audit exactly when an analyst
+// crossed which fraction of their budget: the canonical batch hash, the
+// fresh-query cost, and the analyst's cumulative spend after the entry.
+type LedgerEntry struct {
+	Seq        int64  `json:"seq"`
+	Analyst    string `json:"analyst"`
+	Op         string `json:"op"`
+	Backend    string `json:"backend"`
+	QueryHash  string `json:"query_hash"`
+	Cost       int    `json:"cost"`
+	Cumulative int    `json:"cumulative"`
+	Trace      string `json:"trace,omitempty"`
+}
+
+// LedgerResponse is the body of GET /v1/ledger (also mounted at /ledger):
+// the full entry history (optionally filtered with ?analyst=) plus the
+// current per-analyst net totals. ReplayLedger(Entries) == Totals always
+// holds for an unfiltered response.
+type LedgerResponse struct {
+	V       int            `json:"v"`
+	Budget  int            `json:"budget"` // configured per-analyst budget, 0 = unlimited
+	Totals  map[string]int `json:"totals"`
+	Entries []LedgerEntry  `json:"entries"`
+}
+
 // QueryRequest is the body of POST /v1/query/{backend}: a batch of subset
 // queries from one analyst. Queries need not be sorted; the server
 // canonicalizes (sorts) each index set before validation, caching and
