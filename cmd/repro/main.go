@@ -23,9 +23,10 @@
 // -workers sizes the worker pool the parallel harnesses (E01, E02, E11,
 // E13, E19) fan out on (0 = GOMAXPROCS). Per-item randomness derives from
 // (seed, item index), so tables are byte-identical at every worker count.
-// With -metrics, a sequential-vs-parallel census probe and a remote
-// query-throughput probe (loopback qserver, batch=1 vs batch=256) are also
-// timed and land as BENCH.census / BENCH.remote rows in the
+// With -metrics, a sequential-vs-parallel census probe, a remote
+// query-throughput probe (loopback qserver, batch=1 vs batch=256) and an
+// LP-decoder probe (cold vs warm-started revised simplex) are also timed
+// and land as BENCH.census / BENCH.remote / BENCH.lp rows in the
 // BENCH_<rev>.json summary.
 //
 // Failing experiments no longer abort the run: every experiment is
@@ -54,6 +55,7 @@ import (
 	"singlingout/internal/par"
 	"singlingout/internal/query"
 	"singlingout/internal/query/remote"
+	"singlingout/internal/recon"
 	"singlingout/internal/synth"
 )
 
@@ -132,6 +134,64 @@ func benchRemoteProbe(emit func(obs.Event), seed int64) error {
 			Seed:    seed,
 			Seconds: time.Since(start).Seconds(),
 			Sizes:   map[string]int{"queries": m, "batch": batch},
+		})
+	}
+	return nil
+}
+
+// benchLPProbe times the LP-decoding workhorse directly: one
+// reconstruction LP shape (n=64, m=4n random subset queries) decoded
+// against six noise levels, once with a fresh decoder per solve (cold)
+// and once through a single recon.Decoder that warm-starts every solve
+// after the first from the previous optimal basis (warm) — the access
+// pattern of the E02 harness. Both configurations decode identical answer
+// vectors. The metric deltas put lp.pivots / lp.warm_starts in the
+// BENCH.lp rows, so benchdiff gates the solver's pivot counts and the
+// warm-start machinery alongside wall clock.
+func benchLPProbe(emit func(obs.Event), seed int64) error {
+	const n = 64
+	rng := par.RNG(seed, 0)
+	x := synth.BinaryDataset(rng, n, 0.5)
+	queries := query.RandomSubsets(rng, n, 4*n)
+	alphas := []float64{0, 1, 2, 4, 8, 16}
+	answerSets := make([][]float64, len(alphas))
+	for ai, alpha := range alphas {
+		ans := make([]float64, len(queries))
+		for qi, q := range queries {
+			s := 0.0
+			for _, i := range q {
+				s += float64(x[i])
+			}
+			ans[qi] = s + (rng.Float64()*2-1)*alpha
+		}
+		answerSets[ai] = ans
+	}
+	ctx := context.Background()
+	for _, mode := range []string{"cold", "warm"} {
+		var dec *recon.Decoder
+		before := obs.Default().Snapshot()
+		start := time.Now()
+		for _, ans := range answerSets {
+			if dec == nil || mode == "cold" {
+				var err error
+				dec, err = recon.NewDecoder(n, queries, recon.L1Slack)
+				if err != nil {
+					return err
+				}
+			}
+			if _, _, err := dec.Decode(ctx, ans); err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		delta := obs.Default().Snapshot().Delta(before)
+		emit(obs.Event{
+			Phase:   "experiment",
+			ID:      "BENCH.lp." + mode,
+			Seed:    seed,
+			Seconds: elapsed.Seconds(),
+			Sizes:   map[string]int{"n": n, "queries": 4 * n, "solves": len(alphas)},
+			Metrics: &delta,
 		})
 	}
 	return nil
@@ -248,6 +308,9 @@ func run(ctx context.Context, tool *serve.Tool, seed int64, quick bool, id strin
 		}
 		if err := benchRemoteProbe(tool.Emit, seed); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: remote bench probe: %v\n", err)
+		}
+		if err := benchLPProbe(tool.Emit, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: lp bench probe: %v\n", err)
 		}
 	}
 	tool.Emit(obs.Event{

@@ -1,6 +1,7 @@
 package lp_test
 
 import (
+	"context"
 	"fmt"
 
 	"singlingout/internal/lp"
@@ -18,7 +19,7 @@ func ExampleSolve() {
 			{Coeffs: []float64{3, 2}, Rel: lp.LE, RHS: 18},
 		},
 	}
-	s, err := lp.Solve(p)
+	s, err := lp.Solve(context.Background(), p)
 	if err != nil {
 		panic(err)
 	}

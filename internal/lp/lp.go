@@ -1,8 +1,20 @@
-// Package lp is a self-contained dense linear-programming solver: a
-// two-phase primal simplex with Bland anti-cycling fallback. It replaces
-// the commercial LP solvers (CPLEX/Gurobi) used by the linear-program
-// reconstruction attacks the paper surveys ([13], [18], [24]), at the
-// laptop scale of this repository's experiments.
+// Package lp is a self-contained linear-programming solver suite. It
+// replaces the commercial LP solvers (CPLEX/Gurobi) used by the
+// linear-program reconstruction attacks the paper surveys ([13], [18],
+// [24]) at the scale of this repository's experiments.
+//
+// Two engines share one Problem type and one termination contract
+// (two-phase primal simplex, Bland anti-cycling fallback, deterministic
+// ε-perturbation):
+//
+//   - Solve is the dense tableau simplex — simple, O(m·n) per pivot, and
+//     the test oracle for the sparse engine.
+//   - Revised is the sparse revised simplex — column-wise sparse storage,
+//     an LU-factorized basis with product-form (eta-file) updates between
+//     periodic refactorizations, candidate-list partial pricing, and a
+//     warm-start API: it returns an opaque Basis, and a follow-up solve
+//     over the same constraint matrix with a new RHS and/or objective
+//     restarts from it (dual simplex when only the RHS moved).
 //
 // Problems are stated as: minimize c·x subject to linear constraints with
 // relations ≤, =, ≥ and x ≥ 0. Callers needing free or upper-bounded
@@ -11,6 +23,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,11 +104,21 @@ type Solution struct {
 	// phases); Phase1Pivots is the feasibility-search share.
 	Pivots       int
 	Phase1Pivots int
+	// Basis is the warm-start handle for Optimal solves of the Revised
+	// engine (nil from the dense Solve): pass it to a later Revised call
+	// over the same constraint matrix. Warm reports whether this solve
+	// actually reused a caller-provided basis.
+	Basis *Basis
+	Warm  bool
 }
 
-// Metrics recorded into obs.Default() by Solve. lp.pivots counts every
-// simplex pivot across both phases — the paper's "solver iterations" cost
-// of an LP reconstruction attack.
+// Metrics recorded into obs.Default() by both engines. lp.pivots counts
+// every simplex pivot across both phases — the paper's "solver
+// iterations" cost of an LP reconstruction attack. lp.refactorizations
+// counts basis LU (re)factorizations in the revised engine;
+// lp.warm_starts counts revised solves that reused a caller-provided
+// basis (lp.warm_miss counts the ones that had to fall back cold), and
+// lp.dual_pivots the dual-simplex share of pivots on the warm path.
 var (
 	mSolves     = obs.Default().Counter("lp.solves")
 	mPivots     = obs.Default().Counter("lp.pivots")
@@ -103,6 +126,10 @@ var (
 	mInfeasible = obs.Default().Counter("lp.infeasible")
 	mUnbounded  = obs.Default().Counter("lp.unbounded")
 	mSolveNS    = obs.Default().Histogram("lp.solve_ns")
+	mRefactor   = obs.Default().Counter("lp.refactorizations")
+	mWarmStarts = obs.Default().Counter("lp.warm_starts")
+	mWarmMiss   = obs.Default().Counter("lp.warm_miss")
+	mDualPivots = obs.Default().Counter("lp.dual_pivots")
 )
 
 // ErrIterationLimit is returned when the simplex fails to terminate within
@@ -125,15 +152,16 @@ const (
 	perturb = 1e-8
 )
 
-// Solve runs the two-phase simplex. It returns a Solution whose Status is
-// Optimal, Infeasible or Unbounded; X and Objective are meaningful only
-// for Optimal.
+// Solve runs the two-phase dense tableau simplex. It returns a Solution
+// whose Status is Optimal, Infeasible or Unbounded; X and Objective are
+// meaningful only for Optimal. The context is checked every
+// ProgressEvery pivots; cancellation aborts the solve with ctx.Err().
 //
 // Numerical contract: the solver internally relaxes each inequality by a
 // tiny anti-degeneracy perturbation, so the returned point may violate the
 // stated constraints by up to ~1e-5 (for problems with up to ~1000 rows);
 // equalities are not perturbed.
-func Solve(p *Problem) (*Solution, error) {
+func Solve(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -141,6 +169,7 @@ func Solve(p *Problem) (*Solution, error) {
 	sp := mSolveNS.Span()
 	defer sp.End()
 	t := newTableau(p)
+	t.ctx = ctx
 	t.progress = p.Progress
 	t.progressEvery = p.ProgressEvery
 	if t.progressEvery <= 0 {
@@ -166,12 +195,18 @@ func Solve(p *Problem) (*Solution, error) {
 		if err := t.iterate(true); err != nil {
 			return nil, err
 		}
-		phase1Pivots = t.pivots
 		if t.rhs(t.m) < -tol { // phase-1 objective value is -row value
+			phase1Pivots = t.pivots
 			mInfeasible.Add(1)
 			return done(&Solution{Status: Infeasible}), nil
 		}
-		if !t.driveOutArtificials() {
+		// Pivots spent driving zero-level artificials out of the basis are
+		// part of the feasibility search: snapshot the phase-1 share after
+		// them, so they are attributed to phase 1 (not silently lumped into
+		// the phase-2 remainder).
+		ok := t.driveOutArtificials()
+		phase1Pivots = t.pivots
+		if !ok {
 			// Artificial stuck basic at nonzero level: infeasible.
 			mInfeasible.Add(1)
 			return done(&Solution{Status: Infeasible}), nil
@@ -231,6 +266,7 @@ type tableau struct {
 	artStart                     int // first artificial column
 	pivots                       int
 	phase                        int
+	ctx                          context.Context
 	progress                     func(Progress)
 	progressEvery                int
 }
@@ -389,6 +425,14 @@ func (t *tableau) isBasic(col int) bool {
 func (t *tableau) iterate(phase1 bool) error {
 	maxIter := 20000 + 50*(t.m+t.total)
 	for iter := 0; iter < maxIter; iter++ {
+		// Cancellation check at the progress cadence: a degenerate
+		// multi-second solve must honor the ctx threaded through every
+		// harness, not just return eventually.
+		if t.pivots%t.progressEvery == 0 {
+			if err := t.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		col := t.chooseEntering()
 		if col < 0 {
 			return nil // optimal
@@ -427,7 +471,11 @@ func (t *tableau) chooseEntering() int {
 }
 
 // chooseLeaving runs the ratio test on the entering column; ties break by
-// lowest basis index (lexicographic-ish, pairs with Bland).
+// lowest basis index (lexicographic-ish, pairs with Bland). Tie-breaking
+// never moves bestRatio upward: a row within tol of the current best used
+// to overwrite it with its own (larger) ratio, so a chain of pairwise
+// ties could creep the accepted ratio #ties×tol above the true minimum
+// and push RHS entries negative past the roundoff clamp.
 func (t *tableau) chooseLeaving(col int) int {
 	bestRow := -1
 	bestRatio := math.Inf(1)
@@ -442,9 +490,18 @@ func (t *tableau) chooseLeaving(col int) int {
 			// (degenerate) pivot rather than an improving one.
 			ratio = 0
 		}
-		if ratio < bestRatio-tol || (ratio < bestRatio+tol && (bestRow < 0 || t.basis[r] < t.basis[bestRow])) {
-			bestRatio = ratio
-			bestRow = r
+		switch {
+		case ratio < bestRatio-tol:
+			bestRatio, bestRow = ratio, r
+		case ratio < bestRatio+tol:
+			// A tie within tol: keep the minimum ratio seen so far and
+			// break the tie on basis index only.
+			if ratio < bestRatio {
+				bestRatio = ratio
+			}
+			if bestRow < 0 || t.basis[r] < t.basis[bestRow] {
+				bestRow = r
+			}
 		}
 	}
 	return bestRow

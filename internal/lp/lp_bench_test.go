@@ -44,7 +44,7 @@ func benchSolve(b *testing.B, n int) {
 	p := reconLP(rng, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := Solve(p)
+		s, err := Solve(ctx, p)
 		if err != nil {
 			b.Fatal(err)
 		}

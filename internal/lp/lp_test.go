@@ -1,14 +1,17 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 )
 
+var ctx = context.Background()
+
 func solveOK(t *testing.T, p *Problem) *Solution {
 	t.Helper()
-	s, err := Solve(p)
+	s, err := Solve(ctx, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +115,7 @@ func TestInfeasible(t *testing.T) {
 			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
 		},
 	}
-	s, err := Solve(p)
+	s, err := Solve(ctx, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +133,7 @@ func TestUnbounded(t *testing.T) {
 			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
 		},
 	}
-	s, err := Solve(p)
+	s, err := Solve(ctx, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,15 +179,15 @@ func TestRedundantEquality(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+	if _, err := Solve(ctx, &Problem{NumVars: 0}); err == nil {
 		t.Error("zero vars should fail")
 	}
-	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
+	if _, err := Solve(ctx, &Problem{NumVars: 2, Objective: []float64{1}}); err == nil {
 		t.Error("objective width mismatch should fail")
 	}
 	p := &Problem{NumVars: 2, Objective: []float64{1, 1},
 		Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: 1}}}
-	if _, err := Solve(p); err == nil {
+	if _, err := Solve(ctx, p); err == nil {
 		t.Error("constraint width mismatch should fail")
 	}
 }
@@ -284,7 +287,7 @@ func TestRandomLPsAgainstFeasiblePoints(t *testing.T) {
 			row[j] = 1
 			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: 10})
 		}
-		s, err := Solve(p)
+		s, err := Solve(ctx, p)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -31,7 +31,7 @@ func TestRandomBoundedLPsQuick(t *testing.T) {
 			row[j] = 1
 			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: 5})
 		}
-		s, err := Solve(p)
+		s, err := Solve(ctx, p)
 		if err != nil || s.Status != Optimal {
 			return false
 		}

@@ -128,33 +128,37 @@ const (
 	Chebyshev
 )
 
-// LPDecode mounts the polynomial-time attack of Theorem 1.1(ii): it asks
-// the oracle the given queries as one batch and solves a linear program
-// fitting a fractional database x ∈ [0,1]^n to the answers, then rounds.
-// It returns the rounded reconstruction and the fractional LP solution.
-func LPDecode(ctx context.Context, o query.Oracle, queries [][]int, objective LPObjective) ([]int64, []float64, error) {
-	n := o.N()
+// Decoder is the batched LP-decoding entry point: it fixes a query set
+// once and decodes any number of answer vectors against it. The decoding
+// LP's constraint matrix depends only on the queries — the answers enter
+// only through the RHS — so the Decoder keeps the revised simplex basis
+// of its previous decode and warm-starts the next one from it. A Decoder
+// is not safe for concurrent use; each goroutine builds its own.
+type Decoder struct {
+	n         int
+	queries   [][]int
+	objective LPObjective
+	nv        int
+	obj       []float64
+	cons      []lp.Constraint // RHS of the first 2·len(queries) rows rewritten per decode
+	basis     *lp.Basis
+}
+
+// NewDecoder validates the query set and precomputes the decoding LP's
+// constraint matrix for databases of size n.
+func NewDecoder(n int, queries [][]int, objective LPObjective) (*Decoder, error) {
 	m := len(queries)
 	if m == 0 {
-		return nil, nil, fmt.Errorf("recon: no queries")
+		return nil, fmt.Errorf("recon: no queries")
 	}
-	mLPDecodes.Add(1)
 	for _, q := range queries {
 		// Same well-formedness contract as Exhaustive: the constraint rows
 		// below assign one coefficient per index, collapsing duplicates an
 		// oracle might have counted twice.
 		if err := query.ValidateQuery(n, q); err != nil {
-			return nil, nil, fmt.Errorf("recon: %w", err)
+			return nil, fmt.Errorf("recon: %w", err)
 		}
 	}
-	answers, err := o.Answer(ctx, queries)
-	if err != nil {
-		return nil, nil, fmt.Errorf("recon: oracle failed: %w", err)
-	}
-	if len(answers) != m {
-		return nil, nil, fmt.Errorf("recon: oracle returned %d answers for %d queries", len(answers), m)
-	}
-
 	var nv int
 	switch objective {
 	case L1Slack:
@@ -162,13 +166,14 @@ func LPDecode(ctx context.Context, o query.Oracle, queries [][]int, objective LP
 	case Chebyshev:
 		nv = n + 1 // x_0..x_{n-1}, t
 	default:
-		return nil, nil, fmt.Errorf("recon: unknown objective %d", objective)
+		return nil, fmt.Errorf("recon: unknown objective %d", objective)
 	}
-	obj := make([]float64, nv)
+	d := &Decoder{n: n, queries: queries, objective: objective, nv: nv}
+	d.obj = make([]float64, nv)
 	for j := n; j < nv; j++ {
-		obj[j] = 1
+		d.obj[j] = 1
 	}
-	cons := make([]lp.Constraint, 0, 2*m+n)
+	d.cons = make([]lp.Constraint, 0, 2*m+n)
 	slackCol := func(qi int) int {
 		if objective == L1Slack {
 			return n + qi
@@ -176,7 +181,8 @@ func LPDecode(ctx context.Context, o query.Oracle, queries [][]int, objective LP
 		return n
 	}
 	for qi, q := range queries {
-		// Σ_{i∈q} x_i - e <= a   and   -Σ_{i∈q} x_i - e <= -a.
+		// Σ_{i∈q} x_i - e <= a   and   -Σ_{i∈q} x_i - e <= -a; the RHS pair
+		// (a, -a) is filled in by Decode.
 		up := make([]float64, nv)
 		lo := make([]float64, nv)
 		for _, i := range q {
@@ -185,26 +191,69 @@ func LPDecode(ctx context.Context, o query.Oracle, queries [][]int, objective LP
 		}
 		up[slackCol(qi)] = -1
 		lo[slackCol(qi)] = -1
-		cons = append(cons,
-			lp.Constraint{Coeffs: up, Rel: lp.LE, RHS: answers[qi]},
-			lp.Constraint{Coeffs: lo, Rel: lp.LE, RHS: -answers[qi]},
+		d.cons = append(d.cons,
+			lp.Constraint{Coeffs: up, Rel: lp.LE},
+			lp.Constraint{Coeffs: lo, Rel: lp.LE},
 		)
 	}
 	for i := 0; i < n; i++ {
 		row := make([]float64, nv)
 		row[i] = 1
-		cons = append(cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
+		d.cons = append(d.cons, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: 1})
 	}
-	sol, err := lp.Solve(&lp.Problem{NumVars: nv, Objective: obj, Constraints: cons})
+	return d, nil
+}
+
+// Decode fits a fractional database to one answer vector for the
+// Decoder's query set and rounds it, warm-starting from the basis of the
+// previous decode when one exists.
+func (d *Decoder) Decode(ctx context.Context, answers []float64) ([]int64, []float64, error) {
+	if len(answers) != len(d.queries) {
+		return nil, nil, fmt.Errorf("recon: %d answers for %d queries", len(answers), len(d.queries))
+	}
+	mLPDecodes.Add(1)
+	for qi, a := range answers {
+		d.cons[2*qi].RHS = a
+		d.cons[2*qi+1].RHS = -a
+	}
+	sol, err := lp.Revised(ctx, &lp.Problem{NumVars: d.nv, Objective: d.obj, Constraints: d.cons}, d.basis)
 	if err != nil {
 		return nil, nil, fmt.Errorf("recon: LP solve: %w", err)
 	}
 	if sol.Status != lp.Optimal {
 		return nil, nil, fmt.Errorf("recon: LP status %v", sol.Status)
 	}
-	frac := make([]float64, n)
-	copy(frac, sol.X[:n])
+	d.basis = sol.Basis
+	frac := make([]float64, d.n)
+	copy(frac, sol.X[:d.n])
 	return Round(frac), frac, nil
+}
+
+// DecodeOracle asks the oracle the Decoder's query set as one batch and
+// decodes the answers.
+func (d *Decoder) DecodeOracle(ctx context.Context, o query.Oracle) ([]int64, []float64, error) {
+	if o.N() != d.n {
+		return nil, nil, fmt.Errorf("recon: oracle has n = %d, decoder built for %d", o.N(), d.n)
+	}
+	answers, err := o.Answer(ctx, d.queries)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recon: oracle failed: %w", err)
+	}
+	return d.Decode(ctx, answers)
+}
+
+// LPDecode mounts the polynomial-time attack of Theorem 1.1(ii): it asks
+// the oracle the given queries as one batch and solves a linear program
+// fitting a fractional database x ∈ [0,1]^n to the answers, then rounds.
+// It returns the rounded reconstruction and the fractional LP solution.
+// For repeated decodes over one query set, use a Decoder — it reuses the
+// simplex basis across solves.
+func LPDecode(ctx context.Context, o query.Oracle, queries [][]int, objective LPObjective) ([]int64, []float64, error) {
+	d, err := NewDecoder(o.N(), queries, objective)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.DecodeOracle(ctx, o)
 }
 
 // Round converts a fractional database to binary by thresholding at 1/2.
