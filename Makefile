@@ -76,11 +76,13 @@ bench:
 # Gate: fail if any quick-mode experiment regressed more than 50% in
 # wall clock against the committed baseline (experiments faster than
 # 0.25s in the baseline are skipped as timing noise), or if a required
-# probe row (the BENCH.remote.* query-service throughput rows and the
-# BENCH.lp.* solver rows carrying lp.pivots / lp.warm_starts) vanished
-# from the new summary.
+# probe row (the BENCH.remote.* query-service throughput rows, the
+# BENCH.lp.* solver rows carrying lp.pivots / lp.warm_starts, and the
+# BENCH.converge.* queries-to-accuracy rows, which gate on the
+# converge.queries counter — lower is better — instead of wall clock)
+# vanished from the new summary.
 benchgate: repro-quick
-	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 -require BENCH.remote.,BENCH.lp. BENCH_baseline.json /tmp/BENCH_$(rev).json
+	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 -require BENCH.remote.,BENCH.lp.,BENCH.converge. BENCH_baseline.json /tmp/BENCH_$(rev).json
 
 # Load-generator smoke: a small multi-analyst Zipf workload against an
 # in-process qserver, journaled into its own directory (the BENCH file is

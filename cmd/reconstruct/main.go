@@ -6,12 +6,23 @@
 // Usage:
 //
 //	reconstruct [-attack all|exhaustive|lp|census|diffix] [-seed 1] [-full] [-stats]
+//	            [-stream] [-chunk N]
 //	            [-remote http://host:port] [-remote-backend exact] [-analyst name]
 //	            [-workers N] [-metrics out.jsonl] [-serve :8088] [-spans out.trace.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace trace.out]
 //
 // -stats appends an obs metrics footer (oracle queries, simplex pivots,
 // SAT conflicts, ...) to every table.
+//
+// -stream runs the attacks anytime: answers are consumed -chunk queries
+// at a time with an incremental re-decode after every chunk (LP warm
+// starts; SAT learned clauses retained), each step appending one point to
+// a convergence curve. With -serve the curve streams live over SSE at
+// /converge (and as attack.converge journal events on /journal); the
+// final table reports queries-to-X%-accuracy milestones, and the final
+// reconstruction is byte-identical to the batch path. In-process -stream
+// supports the lp and census attacks; with -remote it streams the
+// E02-style sweep's workload against the live qserver.
 //
 // -remote points the LP-decoding attack at a running qserver instead of an
 // in-process oracle: it dials the server, regenerates the ground truth
@@ -40,6 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,6 +62,7 @@ import (
 	"singlingout/internal/obs/serve"
 	"singlingout/internal/query"
 	"singlingout/internal/query/remote"
+	"singlingout/internal/synth"
 )
 
 func main() {
@@ -58,6 +71,8 @@ func main() {
 	full := flag.Bool("full", false, "run publication-size experiments (slower)")
 	stats := flag.Bool("stats", false, "append an obs metrics footer to every table")
 	workers := flag.Int("workers", 0, "worker-pool size for parallel attacks (0 = GOMAXPROCS); output is identical at any value")
+	stream := flag.Bool("stream", false, "run the attack anytime: incremental decodes with a live convergence curve (lp/census attacks; also with -remote)")
+	chunk := flag.Int("chunk", 32, "answers ingested per streaming step with -stream (<= 0 picks n/4)")
 	remoteURL := flag.String("remote", "", "attack a running qserver at this base URL instead of in-process oracles")
 	remoteBackend := flag.String("remote-backend", "exact", "qserver backend to attack: exact, laplace, diffix")
 	analyst := flag.String("analyst", "", "budget-accounting identity sent to the qserver")
@@ -74,9 +89,12 @@ func main() {
 	// still flushes its journal and profiles below.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	var status int
-	if *remoteURL != "" {
-		status = runRemote(ctx, tool, *remoteURL, *remoteBackend, *analyst, *seed, *full, *stats)
-	} else {
+	switch {
+	case *remoteURL != "":
+		status = runRemote(ctx, tool, *remoteURL, *remoteBackend, *analyst, *seed, *full, *stats, *stream, *chunk)
+	case *stream:
+		status = runStream(ctx, tool, *attack, *seed, *full, *stats, *chunk)
+	default:
 		status = run(ctx, tool, *attack, *seed, *full, *stats)
 	}
 	stopSignals()
@@ -91,8 +109,10 @@ func main() {
 
 // runRemote mounts the LP-decoding sweep against a qserver: ground truth
 // is regenerated locally from the server's advertised metadata, never
-// transmitted.
-func runRemote(ctx context.Context, tool *serve.Tool, baseURL, backend, analyst string, seed int64, full, stats bool) int {
+// transmitted. With stream it runs the anytime variant instead — the
+// workload answered chunk queries at a time, the convergence curve
+// streaming over /converge while the attack runs.
+func runRemote(ctx context.Context, tool *serve.Tool, baseURL, backend, analyst string, seed int64, full, stats, stream bool, chunk int) int {
 	o, err := remote.Dial(ctx, baseURL, remote.Options{Backend: backend, Analyst: analyst})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
@@ -101,7 +121,12 @@ func runRemote(ctx context.Context, tool *serve.Tool, baseURL, backend, analyst 
 	meta := o.Meta()
 	fmt.Fprintf(os.Stderr, "reconstruct: attacking %s backend %q (n=%d seed=%d budget=%d)\n",
 		baseURL, backend, meta.N, meta.Seed, meta.Budget)
-	tool.SetPhase("E02.remote")
+	id := "E02.remote"
+	if stream {
+		id = "E02.stream"
+		announceConverge(tool)
+	}
+	tool.SetPhase(id)
 	tool.Emit(obs.Event{
 		Phase: "run_start",
 		Seed:  seed,
@@ -118,10 +143,15 @@ func runRemote(ctx context.Context, tool *serve.Tool, baseURL, backend, analyst 
 	}
 	start := time.Now()
 	before := reg.Snapshot()
-	tab, err := experiments.E02OverOracle(ctx, o, truth, seed, !full)
+	var tab *experiments.Table
+	if stream {
+		tab, _, err = experiments.E02StreamOverOracle(ctx, o, truth, seed, chunk, obs.DefaultCurves())
+	} else {
+		tab, err = experiments.E02OverOracle(ctx, o, truth, seed, !full)
+	}
 	ev := obs.Event{
 		Phase:   "experiment",
-		ID:      "E02.remote",
+		ID:      id,
 		Seed:    seed,
 		Quick:   !full,
 		Seconds: time.Since(start).Seconds(),
@@ -249,6 +279,107 @@ func run(ctx context.Context, tool *serve.Tool, attack string, seed int64, full,
 		Quick:   !full,
 		Seconds: time.Since(runStart).Seconds(),
 		Sizes:   map[string]int{"experiments": len(ids)},
+	})
+	tool.SetPhase("done")
+	return 0
+}
+
+// announceConverge points the operator at the live curve endpoints when
+// the observability server is up.
+func announceConverge(tool *serve.Tool) {
+	if addr := tool.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "reconstruct: live convergence curve at http://%s/converge (SSE with Accept: text/event-stream)\n", addr)
+	}
+}
+
+// runStream runs the in-process attacks anytime: the LP decoder over an
+// exact oracle and/or the census SAT pipeline, each re-solving
+// incrementally and appending points to the default convergence curves
+// (journal attack.converge events; /converge when serving). The final
+// tables report queries-to-accuracy milestones; the reconstructions
+// match the batch path bit for bit.
+func runStream(ctx context.Context, tool *serve.Tool, attack string, seed int64, full, stats bool, chunk int) int {
+	type step struct {
+		id  string
+		run func(context.Context) (*experiments.Table, error)
+	}
+	var steps []step
+	if attack == "lp" || attack == "all" {
+		steps = append(steps, step{"E02.stream", func(ctx context.Context) (*experiments.Table, error) {
+			n := 48
+			if full {
+				n = 128
+			}
+			rng := rand.New(rand.NewSource(seed))
+			x := synth.BinaryDataset(rng, n, 0.5)
+			tab, _, err := experiments.E02StreamOverOracle(ctx, &query.Exact{X: x}, x, seed, chunk, obs.DefaultCurves())
+			return tab, err
+		}})
+	}
+	if attack == "census" || attack == "all" {
+		steps = append(steps, step{"E11.stream", func(ctx context.Context) (*experiments.Table, error) {
+			tab, _, err := experiments.E11StreamConverge(ctx, seed, !full, obs.DefaultCurves())
+			return tab, err
+		}})
+	}
+	if len(steps) == 0 {
+		fmt.Fprintf(os.Stderr, "reconstruct: -stream supports the lp and census attacks (got -attack %q)\n", attack)
+		return 1
+	}
+	announceConverge(tool)
+	tool.Emit(obs.Event{
+		Phase: "run_start",
+		Seed:  seed,
+		Quick: !full,
+		Sizes: map[string]int{"experiments": len(steps)},
+	})
+	runStart := time.Now()
+	reg := obs.Default()
+	instrumented := stats || tool.Observing()
+	if instrumented {
+		wasEnabled := reg.Enabled()
+		reg.SetEnabled(true)
+		defer reg.SetEnabled(wasEnabled)
+	}
+	for _, st := range steps {
+		tool.SetPhase(st.id)
+		start := time.Now()
+		before := reg.Snapshot()
+		tab, err := st.run(ctx)
+		ev := obs.Event{
+			Phase:   "experiment",
+			ID:      st.id,
+			Seed:    seed,
+			Quick:   !full,
+			Seconds: time.Since(start).Seconds(),
+		}
+		if instrumented {
+			delta := reg.Snapshot().Delta(before)
+			if !delta.Empty() {
+				ev.Metrics = &delta
+			}
+			if tab != nil && stats {
+				tab.Metrics = delta
+			}
+		}
+		if err != nil {
+			ev.Error = err.Error()
+			tool.Emit(ev)
+			fmt.Fprintf(os.Stderr, "reconstruct: %s: %v\n", st.id, err)
+			return 1
+		}
+		tool.Emit(ev)
+		if err := tab.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "reconstruct: %v\n", err)
+			return 1
+		}
+	}
+	tool.Emit(obs.Event{
+		Phase:   "run_end",
+		Seed:    seed,
+		Quick:   !full,
+		Seconds: time.Since(runStart).Seconds(),
+		Sizes:   map[string]int{"experiments": len(steps)},
 	})
 	tool.SetPhase("done")
 	return 0

@@ -197,6 +197,43 @@ func benchLPProbe(emit func(obs.Event), seed int64) error {
 	return nil
 }
 
+// benchConvergeProbe measures the anytime LP attack's query efficiency:
+// one streamed n=64, m=4n, chunk=16 reconstruction over an exact oracle,
+// reporting the cumulative query count at which 50% and 90% accuracy
+// were first reached as BENCH.converge.q50/q90 rows. The workload and
+// oracle are deterministic per seed, so the converge.queries counter the
+// rows carry is noise-free across hosts — benchdiff gates it
+// lower-is-better (more queries for the same accuracy = weaker decoder)
+// and ignores the rows' wall clock.
+func benchConvergeProbe(emit func(obs.Event), seed int64) error {
+	const n, chunk = 64, 16
+	x := synth.BinaryDataset(par.RNG(seed, 1), n, 0.5)
+	start := time.Now()
+	_, res, err := experiments.E02StreamOverOracle(context.Background(), &query.Exact{X: x}, x, seed, chunk, obs.NewCurveSet())
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+	for _, row := range []struct {
+		id string
+		th float64
+	}{{"BENCH.converge.q50", 0.5}, {"BENCH.converge.q90", 0.9}} {
+		q, ok := res.ToAccuracy[row.th]
+		if !ok {
+			return fmt.Errorf("accuracy %.0f%% never reached over %d queries", 100*row.th, res.Queries)
+		}
+		emit(obs.Event{
+			Phase:   "experiment",
+			ID:      row.id,
+			Seed:    seed,
+			Seconds: elapsed,
+			Sizes:   map[string]int{"n": n, "queries": res.Queries, "chunk": chunk},
+			Metrics: &obs.Snapshot{Counters: map[string]int64{obs.ConvergeCounter: int64(q)}},
+		})
+	}
+	return nil
+}
+
 // writeBench folds the finished journal back into a BENCH_<rev>.json
 // summary written beside it.
 func writeBench(journalPath string) (string, error) {
@@ -311,6 +348,9 @@ func run(ctx context.Context, tool *serve.Tool, seed int64, quick bool, id strin
 		}
 		if err := benchLPProbe(tool.Emit, seed); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: lp bench probe: %v\n", err)
+		}
+		if err := benchConvergeProbe(tool.Emit, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: converge bench probe: %v\n", err)
 		}
 	}
 	tool.Emit(obs.Event{

@@ -16,10 +16,14 @@ import (
 var obsNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
 
 // obsNameMethods are the registry constructors whose first argument is a
-// metric name. Tracer.Begin/NewLane are deliberately out of scope: trace
-// lane titles are display strings and embed pool/worker ids by design.
+// metric name. Curve covers CurveSet.Curve: convergence-curve names flow
+// into journal event ids and the /converge endpoint, so they follow the
+// same convention. Tracer.Begin/NewLane are deliberately out of scope:
+// trace lane titles are display strings and embed pool/worker ids by
+// design.
 var obsNameMethods = map[string]bool{
 	"Counter": true, "Gauge": true, "Histogram": true, "StartSpan": true,
+	"Curve": true,
 }
 
 // ObsNames requires metric and journal names passed to obs to be either

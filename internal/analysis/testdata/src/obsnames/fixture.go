@@ -21,6 +21,7 @@ type registry struct{}
 func (registry) Counter(name string) int   { return len(name) }
 func (registry) Gauge(name string) int     { return len(name) }
 func (registry) Histogram(name string) int { return len(name) }
+func (registry) Curve(name string) int     { return len(name) }
 
 // Event mirrors obs.Event.
 type Event struct{ Phase string }
@@ -30,9 +31,16 @@ func register(r registry, shard int) {
 	r.Gauge(MetricGood)
 	r.Counter("census.BlocksSolved")               // want `obs Counter name "census\.BlocksSolved" is not lowercase dotted`
 	r.Histogram(fmt.Sprintf("shard%d.lat", shard)) // want `obs Histogram name must be a constant`
+	r.Counter("obs.journal_dropped")
+	r.Counter("obs.curve_dropped")
+	r.Counter("converge.queries")
+	r.Curve("recon.lp.accuracy")
+	r.Curve("census.exact_fraction")
+	r.Curve("Recon.LP.Accuracy") // want `obs Curve name "Recon\.LP\.Accuracy" is not lowercase dotted`
 	_ = Event{Phase: "run_start"}
 	_ = Event{Phase: "budget.spend"} // dotted ledger phases are in-convention
 	_ = Event{Phase: "query_retry"}
+	_ = Event{Phase: "attack.converge"}
 	_ = Event{Phase: "Run Start"}   // want `obs\.Event Phase "Run Start" is not lowercase dotted`
 	_ = Event{Phase: "budget.Deny"} // want `obs\.Event Phase "budget\.Deny" is not lowercase dotted`
 }

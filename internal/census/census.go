@@ -11,6 +11,7 @@
 package census
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -166,12 +167,51 @@ type BlockResult struct {
 	Exact int
 }
 
+// StreamStep is one intermediate solve of a streaming block
+// reconstruction: the attacker has encoded Queries published table cells
+// so far and re-solved the growing instance. When a consistent
+// assignment exists within the per-call conflict budget, Solved is true
+// and Exact scores it against the supplied truth (multiset
+// intersection). Stats is the solver's cumulative cost for this block —
+// decisions/restarts/conflicts accrued across every incremental call,
+// learned clauses included — so convergence curves can plot accuracy
+// against solver work, not just against queries.
+type StreamStep struct {
+	Block   int64
+	Queries int
+	Size    int
+	Solved  bool
+	Exact   int
+	Stats   sat.Stats
+}
+
 // ReconstructBlock encodes the published tables of one block as CNF and
 // solves for the person-level records. Symmetry between persons is broken
 // with a lexicographic ordering chain, so each candidate multiset
 // corresponds to exactly one model and uniqueness can be decided with a
-// single extra solver call.
+// single extra solver call. It is the batch wrapper over
+// ReconstructBlockStream with no step callback: one solve over the full
+// instance.
 func ReconstructBlock(bt BlockTables, cfg Config, maxConflicts int64) (BlockResult, error) {
+	return ReconstructBlockStream(bt, cfg, maxConflicts, nil, nil)
+}
+
+// ReconstructBlockStream is the anytime form of ReconstructBlock: it adds
+// the published count constraints one table cell at a time and, when
+// onStep is non-nil, re-solves after each cell and reports the step — a
+// convergence curve of reconstruction accuracy (scored against truth)
+// versus table cells consumed. The solver instance persists across the
+// incremental calls, so every re-solve keeps the learned clauses,
+// activity scores and saved phases of the previous ones instead of
+// restarting cold; MaxConflicts budgets each individual solver call.
+//
+// With a nil onStep no intermediate solves happen and the behavior —
+// clause order, solver work, result — is exactly ReconstructBlock's. A
+// mid-stream Unsat means the cells consumed so far are already jointly
+// unsatisfiable; it surfaces as ErrInconsistentTables just like the
+// batch path. A mid-stream Unknown (budget exhausted) reports the step
+// with Solved false and continues.
+func ReconstructBlockStream(bt BlockTables, cfg Config, maxConflicts int64, truth []Tuple, onStep func(StreamStep)) (BlockResult, error) {
 	res := BlockResult{Block: bt.Block, Size: bt.Total}
 	if bt.Total == 0 {
 		res.Solved, res.Unique = true, true
@@ -196,11 +236,36 @@ func ReconstructBlock(bt BlockTables, cfg Config, maxConflicts int64) (BlockResu
 			return res, err
 		}
 	}
+	queries := 0
+	// step re-solves the instance as encoded so far and reports it. The
+	// solver returns at decision level 0 after Unknown but at the final
+	// decision level after Sat, so Backtrack reopens it for the next
+	// cell's clauses — keeping everything learned.
+	step := func() error {
+		if onStep == nil {
+			return nil
+		}
+		st := StreamStep{Block: bt.Block, Queries: queries, Size: bt.Total}
+		switch s.Solve() {
+		case sat.Unsat:
+			return fmt.Errorf("census: block %d: %w", bt.Block, ErrInconsistentTables)
+		case sat.Sat:
+			st.Solved = true
+			if truth != nil {
+				st.Exact = MultisetIntersection(extractTuples(s, x, cfg), truth)
+			}
+			s.Backtrack()
+		}
+		st.Stats = s.Stats()
+		onStep(st)
+		return nil
+	}
 	// Published-count constraints. Each group is one published counting
 	// query the attacker consumes.
 	addGroup := func(members func(t Tuple) bool, count int) error {
 		mTableQueries.Add(1)
 		mCensusQueries.Add(1)
+		queries++
 		var vars []int
 		for p := range x {
 			for c := 0; c < cells; c++ {
@@ -215,9 +280,12 @@ func ReconstructBlock(bt BlockTables, cfg Config, maxConflicts int64) (BlockResu
 					return err
 				}
 			}
-			return nil
+			return step()
 		}
-		return s.ExactlyK(vars, count)
+		if err := s.ExactlyK(vars, count); err != nil {
+			return err
+		}
+		return step()
 	}
 	for sex := 0; sex < 2; sex++ {
 		for b := 0; b < cfg.Buckets(); b++ {
@@ -370,6 +438,31 @@ func ReconstructAll(tables []BlockTables, cfg Config, maxConflictsPerBlock int64
 	})
 	if err != nil {
 		return nil, err
+	}
+	return results, nil
+}
+
+// ReconstructAllStream is the anytime form of ReconstructAll: it solves
+// the blocks sequentially (a convergence curve is a cumulative series, so
+// the streaming path is inherently ordered) with an intermediate solve
+// after every published table cell, reporting each via onStep. truth maps
+// block id to the true tuples (as from TrueTuples) so steps carry exact
+// scores; blocks whose tables turn jointly unsatisfiable mid-stream count
+// as unsolved, matching the batch path. ctx cancellation is checked
+// between blocks.
+func ReconstructAllStream(ctx context.Context, tables []BlockTables, truth map[int64][]Tuple, cfg Config, maxConflictsPerBlock int64, onStep func(StreamStep)) ([]BlockResult, error) {
+	results := make([]BlockResult, len(tables))
+	for i, bt := range tables {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("census: streaming reconstruction: %w", err)
+		}
+		r, err := ReconstructBlockStream(bt, cfg, maxConflictsPerBlock, truth[bt.Block], onStep)
+		if errors.Is(err, ErrInconsistentTables) {
+			r = BlockResult{Block: bt.Block, Size: bt.Total}
+		} else if err != nil {
+			return nil, err
+		}
+		results[i] = r
 	}
 	return results, nil
 }

@@ -1,12 +1,15 @@
 package census
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"singlingout/internal/synth"
 )
+
+var ctx = context.Background()
 
 func TestCellIDRoundTrip(t *testing.T) {
 	cfg := DefaultConfig()
@@ -256,5 +259,167 @@ func TestSummaryBySize(t *testing.T) {
 	var zero SizeBucket
 	if zero.ExactFraction() != 0 {
 		t.Error("zero bucket fraction should be 0")
+	}
+}
+
+// TestReconstructBlockStreamMatchesBatch pins the streaming contract: the
+// per-cell incremental path reports monotone steps with cumulative solver
+// statistics and lands on exactly the batch result.
+func TestReconstructBlockStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 40, ZIPs: 1, BlocksPerZIP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+	truth := TrueTuples(pop, cfg)
+	cellsPerBlock := 2*cfg.Buckets() + 12 + 12
+
+	for _, bt := range tables {
+		batch, err := ReconstructBlock(bt, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var steps []StreamStep
+		streamed, err := ReconstructBlockStream(bt, cfg, 0, truth[bt.Block], func(st StreamStep) {
+			steps = append(steps, st)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(steps) != cellsPerBlock {
+			t.Fatalf("block %d: %d steps, want one per cell (%d)", bt.Block, len(steps), cellsPerBlock)
+		}
+		last := steps[len(steps)-1]
+		for i, st := range steps {
+			if st.Block != bt.Block || st.Size != bt.Total {
+				t.Fatalf("step %d = %+v, want block %d size %d", i, st, bt.Block, bt.Total)
+			}
+			if st.Queries != i+1 {
+				t.Errorf("step %d queries = %d, want %d (monotone, one cell per step)", i, st.Queries, i+1)
+			}
+			if i > 0 {
+				prev := steps[i-1].Stats
+				if st.Stats.Decisions < prev.Decisions || st.Stats.Conflicts < prev.Conflicts {
+					t.Errorf("step %d solver stats went backwards: %+v then %+v", i, prev, st.Stats)
+				}
+			}
+		}
+		// The final step has consumed every cell (the symmetry chains and
+		// uniqueness check come after, so its Exact may score a different
+		// equally-consistent model than the returned one).
+		if !last.Solved {
+			t.Fatalf("block %d: final step unsolved", bt.Block)
+		}
+		if last.Exact < 0 || last.Exact > bt.Total {
+			t.Errorf("block %d: final step exact = %d out of [0, %d]", bt.Block, last.Exact, bt.Total)
+		}
+
+		// Solved/Unique are properties of the constraint set, not of the
+		// returned model: they must match the batch path. The streamed
+		// tuples must tabulate to the published tables, and for uniquely
+		// determined blocks they must equal the batch tuples exactly.
+		if streamed.Solved != batch.Solved || streamed.Unique != batch.Unique || streamed.Size != batch.Size {
+			t.Errorf("block %d: streamed %+v, batch %+v", bt.Block, streamed, batch)
+		}
+		if len(streamed.Tuples) != len(batch.Tuples) {
+			t.Fatalf("block %d: streamed %d tuples, batch %d", bt.Block, len(streamed.Tuples), len(batch.Tuples))
+		}
+		checkTabulatesTo(t, bt, streamed.Tuples)
+		if batch.Unique && MultisetIntersection(streamed.Tuples, batch.Tuples) != len(batch.Tuples) {
+			t.Errorf("block %d: unique block, but streamed tuple multiset differs from batch", bt.Block)
+		}
+	}
+}
+
+// checkTabulatesTo verifies tuples are a consistent reconstruction: they
+// reproduce the block's published marginal tables exactly.
+func checkTabulatesTo(t *testing.T, bt BlockTables, tuples []Tuple) {
+	t.Helper()
+	sexAge := map[[2]int]int{}
+	raceEt := map[[2]int]int{}
+	sexRc := map[[2]int]int{}
+	for _, tp := range tuples {
+		sexAge[[2]int{tp.Sex, tp.AgeBucket}]++
+		raceEt[[2]int{tp.Race, tp.Ethnicity}]++
+		sexRc[[2]int{tp.Sex, tp.Race}]++
+	}
+	if len(tuples) != bt.Total {
+		t.Errorf("block %d: %d tuples for total %d", bt.Block, len(tuples), bt.Total)
+	}
+	for name, got := range map[string]map[[2]int]int{"SexAge": sexAge, "RaceEt": raceEt, "SexRc": sexRc} {
+		want := map[string]map[[2]int]int{"SexAge": bt.SexAge, "RaceEt": bt.RaceEt, "SexRc": bt.SexRc}[name]
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("block %d: %s[%v] = %d, want %d", bt.Block, name, k, got[k], v)
+			}
+		}
+		for k, v := range got {
+			if want[k] != v {
+				t.Errorf("block %d: %s[%v] = %d not published", bt.Block, name, k, v)
+			}
+		}
+	}
+}
+
+func TestReconstructAllStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 60, ZIPs: 2, BlocksPerZIP: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	tables := Tabulate(pop, cfg)
+	truth := TrueTuples(pop, cfg)
+
+	batch, err := ReconstructAll(tables, cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	streamed, err := ReconstructAllStream(ctx, tables, truth, cfg, 0, func(StreamStep) { steps++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsPerBlock := 2*cfg.Buckets() + 12 + 12
+	nonEmpty := 0
+	for _, bt := range tables {
+		if bt.Total > 0 {
+			nonEmpty++
+		}
+	}
+	if steps != cellsPerBlock*nonEmpty {
+		t.Errorf("steps = %d, want %d (%d cells over %d non-empty blocks)", steps, cellsPerBlock*nonEmpty, cellsPerBlock, nonEmpty)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d results, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		b, s := batch[i], streamed[i]
+		if b.Block != s.Block || b.Solved != s.Solved || b.Unique != s.Unique {
+			t.Errorf("block %d: streamed %+v, batch %+v", b.Block, s, b)
+		}
+		if s.Solved {
+			checkTabulatesTo(t, tables[i], s.Tuples)
+		}
+		if b.Unique && (MultisetIntersection(b.Tuples, s.Tuples) != len(b.Tuples) || len(b.Tuples) != len(s.Tuples)) {
+			t.Errorf("block %d: unique block, but tuple multisets differ", b.Block)
+		}
+	}
+}
+
+func TestReconstructAllStreamCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pop, err := synth.Population(rng, synth.PopulationConfig{N: 30, ZIPs: 1, BlocksPerZIP: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := ReconstructAllStream(cctx, Tabulate(pop, cfg), nil, cfg, 0, nil); err == nil {
+		t.Error("cancelled context should fail")
 	}
 }

@@ -38,6 +38,15 @@ const (
 	// the per-pivot cost) and accuracy. The sparse refactorization is
 	// cheap on the reconstruction LPs, so the file is kept short.
 	refactorEvery = 24
+	// dualBlandRun is the consecutive-degenerate-pivot threshold at which
+	// the dual simplex switches its leaving-row choice from Dantzig (most
+	// negative) to Bland's least-index rule. The primal side is protected
+	// by the ε-perturbation and blandAfter, but the dual ratio test runs
+	// on the unperturbed reduced costs, and on the massively degenerate
+	// L1-fitting LPs a warm start that tightens many rows at once can set
+	// Dantzig cycling; least-index selection (with the ratio test's
+	// existing lowest-column tie-break) is provably finite.
+	dualBlandRun = 256
 )
 
 // revised is the sparse revised-simplex engine state for one solve.
@@ -606,15 +615,27 @@ func (e *revised) refreshDualD() {
 func (e *revised) dual() (*Solution, error) {
 	maxIter := 20000 + 50*(e.m+e.sf.nCols)
 	alpha := make([]float64, e.sf.nCols)
+	degenRun := 0 // consecutive pivots with no dual-objective progress
 	for iter := 0; iter < maxIter; iter++ {
 		if err := e.checkCtx(); err != nil {
 			return nil, err
 		}
-		// Leaving row: most negative basic value.
-		r, worst := -1, -feasTol
-		for i := 0; i < e.m; i++ {
-			if e.xB[i] < worst {
-				worst, r = e.xB[i], i
+		// Leaving row: most negative basic value, or — after a degenerate
+		// run long enough to suggest cycling — the infeasible row whose
+		// basic variable has the lowest column id (Bland).
+		r := -1
+		if degenRun >= dualBlandRun {
+			for i := 0; i < e.m; i++ {
+				if e.xB[i] < -feasTol && (r < 0 || e.basis[i] < e.basis[r]) {
+					r = i
+				}
+			}
+		} else {
+			worst := -feasTol
+			for i := 0; i < e.m; i++ {
+				if e.xB[i] < worst {
+					worst, r = e.xB[i], i
+				}
 			}
 		}
 		if r < 0 {
@@ -660,6 +681,11 @@ func (e *revised) dual() (*Solution, error) {
 			// Dual unbounded: the primal is infeasible under the new RHS.
 			mInfeasible.Add(1)
 			return &Solution{Status: Infeasible}, nil
+		}
+		if bestRatio > tol {
+			degenRun = 0
+		} else {
+			degenRun++
 		}
 		e.ftranCol(q)
 		if math.Abs(e.d[r]) <= luMinPivot {

@@ -39,7 +39,24 @@ type BenchDelta struct {
 	BaseError     string
 	NewError      string
 	Counters      []CounterDelta // union of counter names, sorted; only entries that changed
+	// BaseCounters/NewCounters are each side's full counter maps (nil for
+	// a missing side): direction-aware gates like the BENCH.converge rows
+	// need a counter's value even when it did not change.
+	BaseCounters map[string]int64
+	NewCounters  map[string]int64
 }
+
+// ConvergeRowPrefix marks bench rows that measure queries-to-accuracy
+// (emitted by cmd/repro's converge probe). Unlike wall-clock rows, these
+// gate on the ConvergeCounter work counter, and lower is better: a larger
+// value means the attack needed more queries to reach the same accuracy —
+// the decoder got weaker — regardless of how fast the probe ran.
+const ConvergeRowPrefix = "BENCH.converge."
+
+// ConvergeCounter is the counter a BENCH.converge row is gated on: the
+// cumulative query count at which the row's accuracy milestone was
+// reached.
+const ConvergeCounter = "converge.queries"
 
 // SecondsPct returns the wall-clock change in percent relative to the
 // baseline (0 when the baseline is zero or a side is missing).
@@ -74,12 +91,13 @@ func DiffBench(base, cur BenchSummary) BenchDiff {
 			continue
 		}
 		seen[b.ID] = true
-		d := BenchDelta{ID: b.ID, InBase: true, BaseSeconds: b.Seconds, BaseError: b.Error}
+		d := BenchDelta{ID: b.ID, InBase: true, BaseSeconds: b.Seconds, BaseError: b.Error, BaseCounters: b.Counters}
 		if n, ok := newByID[b.ID]; ok {
 			d.InNew = true
 			d.NewSeconds = n.Seconds
 			d.NewError = n.Error
 			d.Counters = diffCounters(b.Counters, n.Counters)
+			d.NewCounters = n.Counters
 		}
 		diff.Rows = append(diff.Rows, d)
 	}
@@ -90,7 +108,7 @@ func DiffBench(base, cur BenchSummary) BenchDiff {
 		seen[n.ID] = true
 		diff.Rows = append(diff.Rows, BenchDelta{
 			ID: n.ID, InNew: true, NewSeconds: n.Seconds, NewError: n.Error,
-			Counters: diffCounters(nil, n.Counters),
+			Counters: diffCounters(nil, n.Counters), NewCounters: n.Counters,
 		})
 	}
 	return diff
@@ -195,6 +213,12 @@ func (diff BenchDiff) MissingFromNew(prefixes []string) []string {
 // Experiments missing from the new summary are reported by Fprint but are
 // not violations: probe rows like BENCH.census.workers=N legitimately
 // change id across hosts with different core counts.
+//
+// Rows under ConvergeRowPrefix invert the usual direction: they measure
+// queries-to-accuracy via the ConvergeCounter work counter (deterministic
+// per seed, so no noise floor applies) and regress when the counter GROWS
+// by more than pct percent — more queries for the same accuracy is a
+// weaker attack. Their wall clock (microseconds of probe time) is ignored.
 func (diff BenchDiff) Regressions(pct, minSeconds float64) []string {
 	var out []string
 	for _, d := range diff.Rows {
@@ -206,6 +230,21 @@ func (diff BenchDiff) Regressions(pct, minSeconds float64) []string {
 			continue
 		}
 		if d.BaseError != "" || d.NewError != "" {
+			continue
+		}
+		if strings.HasPrefix(d.ID, ConvergeRowPrefix) {
+			bq, nq := d.BaseCounters[ConvergeCounter], d.NewCounters[ConvergeCounter]
+			switch {
+			case bq <= 0:
+				// Baseline row without the counter: nothing to gate on.
+			case nq <= 0:
+				out = append(out, fmt.Sprintf("%s: %s counter missing from new run", d.ID, ConvergeCounter))
+			default:
+				if p := 100 * float64(nq-bq) / float64(bq); p > pct {
+					out = append(out, fmt.Sprintf("%s: queries-to-accuracy %d -> %d (%+.1f%%) exceeds +%.1f%% (lower is better)",
+						d.ID, bq, nq, p, pct))
+				}
+			}
 			continue
 		}
 		if d.BaseSeconds < minSeconds {

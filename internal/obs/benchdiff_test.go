@@ -166,3 +166,51 @@ func TestReadBenchFileRoundTrip(t *testing.T) {
 		t.Error("missing file must error")
 	}
 }
+
+func TestConvergeRowsGateOnQueries(t *testing.T) {
+	row := func(q int64, seconds float64) BenchEntry {
+		return BenchEntry{ID: "BENCH.converge.q90", Seconds: seconds,
+			Counters: map[string]int64{ConvergeCounter: q}}
+	}
+	base := BenchSummary{Rev: "aaaaaaaaaaaa", Experiments: []BenchEntry{row(80, 0.1)}}
+
+	// More queries to the same accuracy is a regression, regardless of the
+	// seconds floor (converge rows are deterministic counters, not noisy
+	// wall clock — minSeconds must not shield them).
+	cur := BenchSummary{Rev: "bbbbbbbbbbbb", Experiments: []BenchEntry{row(112, 0.1)}}
+	got := DiffBench(base, cur).Regressions(10, 1.0)
+	if len(got) != 1 || !strings.Contains(got[0], "lower is better") || !strings.Contains(got[0], "80 -> 112") {
+		t.Errorf("query growth: %v, want one lower-is-better violation", got)
+	}
+
+	// Fewer (or equal) queries is an improvement, never a violation — even
+	// when the probe's wall clock explodes (it is microseconds of noise).
+	for _, q := range []int64{48, 80} {
+		cur = BenchSummary{Rev: "bbbbbbbbbbbb", Experiments: []BenchEntry{row(q, 50.0)}}
+		if got := DiffBench(base, cur).Regressions(10, 0); len(got) != 0 {
+			t.Errorf("queries %d: %v, want none (wall clock must be ignored)", q, got)
+		}
+	}
+
+	// A converge row that lost its counter cannot be gated — that is a
+	// violation in itself, not a silent pass.
+	cur = BenchSummary{Rev: "bbbbbbbbbbbb", Experiments: []BenchEntry{{ID: "BENCH.converge.q90", Seconds: 0.1}}}
+	got = DiffBench(base, cur).Regressions(10, 0)
+	if len(got) != 1 || !strings.Contains(got[0], "counter missing") {
+		t.Errorf("missing counter: %v, want one violation", got)
+	}
+
+	// A baseline row without the counter has nothing to gate on.
+	base = BenchSummary{Rev: "aaaaaaaaaaaa", Experiments: []BenchEntry{{ID: "BENCH.converge.q90", Seconds: 0.1}}}
+	cur = BenchSummary{Rev: "bbbbbbbbbbbb", Experiments: []BenchEntry{row(999, 0.1)}}
+	if got := DiffBench(base, cur).Regressions(10, 0); len(got) != 0 {
+		t.Errorf("counterless baseline: %v, want none", got)
+	}
+
+	// Non-converge rows keep the wall-clock gate untouched.
+	base = BenchSummary{Rev: "aaaaaaaaaaaa", Experiments: []BenchEntry{{ID: "E02", Seconds: 1.0}}}
+	cur = BenchSummary{Rev: "bbbbbbbbbbbb", Experiments: []BenchEntry{{ID: "E02", Seconds: 2.0}}}
+	if got := DiffBench(base, cur).Regressions(10, 0); len(got) != 1 {
+		t.Errorf("wall-clock regression: %v, want one violation", got)
+	}
+}

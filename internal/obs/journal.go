@@ -37,22 +37,33 @@ type Event struct {
 	Trace string `json:"trace,omitempty"`
 	// Metrics is the snapshot (usually a delta) of work done in the phase.
 	Metrics *Snapshot `json:"metrics,omitempty"`
+	// Curve is the convergence sample for "attack.converge" events — one
+	// (x, y) point of a streaming attack's accuracy-vs-queries curve (see
+	// CurveSet). Nil on every other phase.
+	Curve *CurveSample `json:"curve,omitempty"`
 }
 
 // journalRing is how many recent events a journal retains for subscriber
 // replay (the SSE /journal tail).
 const journalRing = 256
 
+// mJournalDropped counts events dropped for slow journal subscribers: an
+// SSE consumer comparing its received-event count against this counter
+// (or against Journal.Dropped) can detect gaps in a tailed journal. The
+// JSONL file itself is always complete — only the live fan-out drops.
+var mJournalDropped = Default().Counter("obs.journal_dropped")
+
 // Journal writes Events as JSON lines and fans them out to live
 // subscribers (the serve package's SSE /journal endpoint). Safe for
 // concurrent use.
 type Journal struct {
-	mu     sync.Mutex
-	w      io.Writer
-	events int
-	recent []Event // last journalRing events, for subscriber replay
-	subs   map[int]chan Event
-	nextID int
+	mu      sync.Mutex
+	w       io.Writer
+	events  int
+	recent  []Event // last journalRing events, for subscriber replay
+	subs    map[int]chan Event
+	nextID  int
+	dropped int64 // events dropped across all slow subscribers
 }
 
 // NewJournal returns a journal writing to w.
@@ -83,6 +94,11 @@ func (j *Journal) Emit(e Event) error {
 		select {
 		case ch <- e:
 		default:
+			// Slow subscriber: drop the event for it rather than blocking
+			// the run. The drop is observable (Dropped and the
+			// obs.journal_dropped counter) so tail readers can detect gaps.
+			j.dropped++
+			mJournalDropped.Add(1)
 		}
 	}
 	return nil
@@ -91,8 +107,12 @@ func (j *Journal) Emit(e Event) error {
 // Subscribe registers a live tail: it returns the retained recent events
 // (replay) and a channel carrying every event emitted from now on, with no
 // gap or overlap between the two. The channel buffers buf events; when the
-// subscriber falls behind, newer events are dropped for it rather than
-// blocking Emit. cancel unregisters the subscriber and closes the channel.
+// subscriber falls behind (its buffer is full at Emit time), the new event
+// is dropped for that subscriber rather than blocking Emit — the channel
+// then carries a gapped sequence, with each drop counted in Dropped and
+// the obs.journal_dropped metric. Consumers needing the complete record
+// read the JSONL file, which never drops. cancel unregisters the
+// subscriber and closes the channel.
 func (j *Journal) Subscribe(buf int) (replay []Event, ch <-chan Event, cancel func()) {
 	if buf < 1 {
 		buf = 1
@@ -117,6 +137,14 @@ func (j *Journal) Subscribe(buf int) (replay []Event, ch <-chan Event, cancel fu
 		})
 	}
 	return replay, c, cancel
+}
+
+// Dropped returns the total number of events dropped across all slow
+// subscribers (the JSONL file itself never drops).
+func (j *Journal) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // Events returns the number of events emitted so far.

@@ -6,6 +6,8 @@
 //	/snapshot      the raw obs.Snapshot as JSON
 //	/healthz       run phase, uptime, journal event count
 //	/journal       Server-Sent Events tail of the live run journal
+//	/converge      attack convergence curves: full series as JSON, or a
+//	               replay + live SSE tail with Accept: text/event-stream
 //	/debug/pprof/  the stdlib pprof handlers
 //
 // The cmd tools start it with -serve addr (wired through Tool, the shared
@@ -122,6 +124,10 @@ type Health struct {
 	Phase         string  `json:"phase"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	JournalEvents int     `json:"journal_events"`
+	// JournalDropped counts events dropped for slow live subscribers (the
+	// JSONL file never drops); a tail reader seeing this grow knows its
+	// SSE stream has gaps.
+	JournalDropped int64 `json:"journal_dropped,omitempty"`
 }
 
 // Server serves the observability endpoints for one registry and
@@ -129,8 +135,9 @@ type Health struct {
 // with Close.
 type Server struct {
 	reg     *obs.Registry
-	journal *obs.Journal // nil: /journal responds 404
-	tracer  *obs.Tracer  // never nil; /trace serves its dump
+	journal *obs.Journal  // nil: /journal responds 404
+	tracer  *obs.Tracer   // never nil; /trace serves its dump
+	curves  *obs.CurveSet // never nil; /converge serves it
 	start   time.Time
 	phase   atomic.Value // string
 	mux     *http.ServeMux
@@ -140,12 +147,14 @@ type Server struct {
 
 // New builds a server over reg (usually obs.Default()) and journal (may be
 // nil when no run journal exists; /journal then responds 404). The /trace
-// endpoint serves the process-wide obs.DefaultTracer dump.
+// endpoint serves the process-wide obs.DefaultTracer dump and /converge
+// the process-wide obs.DefaultCurves set (override with SetCurves).
 func New(reg *obs.Registry, journal *obs.Journal) *Server {
 	s := &Server{
 		reg:     reg,
 		journal: journal,
 		tracer:  obs.DefaultTracer(),
+		curves:  obs.DefaultCurves(),
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		done:    make(chan struct{}),
@@ -156,6 +165,7 @@ func New(reg *obs.Registry, journal *obs.Journal) *Server {
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/journal", s.handleJournal)
+	s.mux.HandleFunc("/converge", s.handleConverge)
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -167,6 +177,10 @@ func New(reg *obs.Registry, journal *obs.Journal) *Server {
 
 // Handler returns the server's mux (for tests via httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetCurves points /converge at cs instead of the process-wide default
+// set (tests serve an isolated CurveSet this way). Call before Start.
+func (s *Server) SetCurves(cs *obs.CurveSet) { s.curves = cs }
 
 // SetPhase updates the run phase /healthz reports (e.g. "E02",
 // "bench_probe", "done").
@@ -210,6 +224,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "/snapshot       obs.Snapshot JSON\n")
 	fmt.Fprint(w, "/healthz        phase + uptime\n")
 	fmt.Fprint(w, "/journal        SSE tail of the run journal\n")
+	fmt.Fprint(w, "/converge       attack convergence curves (JSON; SSE with Accept: text/event-stream)\n")
 	fmt.Fprint(w, "/trace          collected trace spans as an obs.TraceDump (JSON)\n")
 	fmt.Fprint(w, "/debug/pprof/   stdlib profiling handlers\n")
 }
@@ -245,6 +260,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.journal != nil {
 		h.JournalEvents = s.journal.Events()
+		h.JournalDropped = s.journal.Dropped()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h) //nolint:errcheck // client gone
@@ -296,5 +312,68 @@ func writeSSE(w io.Writer, e obs.Event) error {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: journal\ndata: %s\n\n", line)
+	return err
+}
+
+// convergeSnapshot is the JSON /converge response body.
+type convergeSnapshot struct {
+	// Curves maps curve name to its full (x, y) series so far.
+	Curves map[string][]obs.CurvePoint `json:"curves"`
+	// Dropped counts samples dropped for slow SSE subscribers.
+	Dropped int64 `json:"dropped"`
+}
+
+// handleConverge serves the attack convergence curves. The default
+// response is a JSON snapshot of every curve's full series (the batch
+// view: plot it after the run). With Accept: text/event-stream it
+// streams instead — the retained recent samples first, then every
+// sample as attacks add points, until the client disconnects or the
+// server closes. Each SSE frame is one obs.CurveSample.
+func (s *Server) handleConverge(w http.ResponseWriter, r *http.Request) {
+	if !strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(convergeSnapshot{Curves: s.curves.Snapshot(), Dropped: s.curves.Dropped()}) //nolint:errcheck // client gone
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	replay, ch, cancel := s.curves.Subscribe(256)
+	defer cancel()
+	for _, sample := range replay {
+		if writeSSECurve(w, sample) != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case sample := <-ch:
+			if writeSSECurve(w, sample) != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSECurve(w io.Writer, sample obs.CurveSample) error {
+	line, err := json.Marshal(sample)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: converge\ndata: %s\n\n", line)
 	return err
 }

@@ -254,6 +254,141 @@ func TestJournalSSETail(t *testing.T) {
 	}
 }
 
+// readSSECurves reads SSE frames off a /converge stream until n curve
+// samples arrived or the deadline passes.
+func readSSECurves(t *testing.T, body io.Reader, n int) []obs.CurveSample {
+	t.Helper()
+	var out []obs.CurveSample
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var s obs.CurveSample
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &s); err != nil {
+			t.Fatalf("SSE data is not a CurveSample: %v (%q)", err, line)
+		}
+		out = append(out, s)
+		if len(out) == n {
+			return out
+		}
+	}
+	t.Fatalf("SSE stream ended after %d of %d samples: %v", len(out), n, sc.Err())
+	return nil
+}
+
+func TestConvergeJSONSnapshot(t *testing.T) {
+	cs := obs.NewCurveSet()
+	cs.Curve("recon.lp.accuracy").Add(32, 0.6)
+	cs.Curve("recon.lp.accuracy").Add(64, 0.9)
+	cs.Curve("census.exact_fraction").Add(26, 0.25)
+
+	s := New(obs.NewRegistry(), nil)
+	s.SetCurves(cs)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/converge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap convergeSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	lp := snap.Curves["recon.lp.accuracy"]
+	if len(lp) != 2 || lp[1].X != 64 || lp[1].Y != 0.9 {
+		t.Errorf("lp curve = %+v", lp)
+	}
+	if got := snap.Curves["census.exact_fraction"]; len(got) != 1 || got[0].X != 26 {
+		t.Errorf("census curve = %+v", got)
+	}
+	if snap.Dropped != 0 {
+		t.Errorf("dropped = %d", snap.Dropped)
+	}
+}
+
+func TestConvergeSSETail(t *testing.T) {
+	cs := obs.NewCurveSet()
+	curve := cs.Curve("recon.lp.accuracy")
+	curve.Add(16, 0.5)
+
+	s := New(obs.NewRegistry(), nil)
+	s.SetCurves(cs)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/converge", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Add live points after the stream is connected.
+	go func() {
+		for i := int64(1); i <= 3; i++ {
+			curve.AddStats(16+16*i, 0.5+0.1*float64(i), map[string]int64{"chunk": 16})
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	samples := readSSECurves(t, resp.Body, 4)
+	if samples[0].Name != "recon.lp.accuracy" || samples[0].X != 16 || samples[0].Y != 0.5 {
+		t.Errorf("replay sample = %+v", samples[0])
+	}
+	for i, smp := range samples[1:] {
+		wantX := int64(32 + 16*i)
+		if smp.X != wantX || smp.Stats["chunk"] != 16 {
+			t.Errorf("live sample %d = %+v, want x=%d", i, smp, wantX)
+		}
+	}
+	// The tail must be monotone in x per curve — the invariant plotters
+	// rely on.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].X <= samples[i-1].X {
+			t.Errorf("curve tail not monotone: x[%d]=%d after x=%d", i, samples[i].X, samples[i-1].X)
+		}
+	}
+}
+
+func TestHealthzReportsJournalDropped(t *testing.T) {
+	journal := obs.NewJournal(io.Discard)
+	_, _, cancel := journal.Subscribe(1)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		journal.Emit(obs.Event{Phase: "experiment", ID: "flood"}) //nolint:errcheck
+	}
+
+	s := New(obs.NewRegistry(), journal)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.JournalEvents != 4 || h.JournalDropped != 3 {
+		t.Errorf("healthz = %+v, want 4 events with 3 dropped", h)
+	}
+}
+
 func TestJournalEndpointWithoutJournal(t *testing.T) {
 	srv := httptest.NewServer(New(obs.NewRegistry(), nil).Handler())
 	defer srv.Close()

@@ -82,6 +82,10 @@ func (t *Tool) Start() error {
 	}
 	if t.journal != nil {
 		obs.Default().SetEnabled(true)
+		// Streaming attacks record convergence points into the default
+		// curve set; mirror them into the run journal as attack.converge
+		// events (and onto /converge when serving).
+		obs.DefaultCurves().SetJournal(t.journal)
 	}
 	return nil
 }
@@ -151,6 +155,9 @@ func (t *Tool) Close() error {
 			errs = append(errs, werr, cerr)
 		}
 		tr.Reset()
+	}
+	if t.journal != nil {
+		obs.DefaultCurves().SetJournal(nil)
 	}
 	if t.journalFile != nil {
 		errs = append(errs, t.journalFile.Close())

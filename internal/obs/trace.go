@@ -238,6 +238,33 @@ func (s TraceSpan) End() {
 	})
 }
 
+// Counter records one Chrome trace counter sample (Ph "C"): a named
+// scalar series Perfetto renders as its own counter track — a line chart
+// climbing next to the span lanes. The CurveSet mirrors convergence
+// points here so a -spans export shows attack accuracy rising alongside
+// the client/server spans that earned it. No-op while disabled; samples
+// count against the retention limit like spans.
+func (t *Tracer) Counter(name string, value float64) {
+	if !t.enabled.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name,
+		Cat:  "converge",
+		Ph:   "C",
+		TS:   float64(time.Since(t.start).Nanoseconds()) / 1e3,
+		PID:  tracePID,
+		TID:  MainLane,
+		Args: map[string]any{"value": value},
+	})
+}
+
 // Events returns a copy of the collected complete events (metadata lane
 // events are synthesized at export time).
 func (t *Tracer) Events() []TraceEvent {

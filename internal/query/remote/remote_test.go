@@ -283,3 +283,44 @@ func TestRemoteReconstructionInvariance(t *testing.T) {
 		t.Fatalf("remote and in-process tables differ:\nremote:\n%s\nlocal:\n%s", remoteTable, localTable)
 	}
 }
+
+// TestRemoteStreamInvariance is the anytime analogue of
+// TestRemoteReconstructionInvariance: streaming the workload chunk by
+// chunk against a live qserver must land on the same final
+// reconstruction — byte-identical — as streaming against an in-process
+// exact oracle, and the milestone table must match too.
+func TestRemoteStreamInvariance(t *testing.T) {
+	const (
+		seed  = int64(42)
+		n     = 32
+		chunk = 16
+	)
+	_, ts := newTestServer(t, remote.ServerConfig{N: n, Seed: seed, P: 0.5})
+	o, err := remote.Dial(ctx, ts.URL, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := remote.Dataset(seed, n, 0.5)
+	remoteTab, remoteRes, err := experiments.E02StreamOverOracle(ctx, o, truth, seed, chunk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localTab, localRes, err := experiments.E02StreamOverOracle(ctx, &query.Exact{X: truth}, truth, seed, chunk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remoteRes.Final) != n || len(localRes.Final) != n {
+		t.Fatalf("final lengths %d/%d", len(remoteRes.Final), len(localRes.Final))
+	}
+	for i := range remoteRes.Final {
+		if remoteRes.Final[i] != localRes.Final[i] {
+			t.Fatalf("bit %d: remote stream %d, local stream %d", i, remoteRes.Final[i], localRes.Final[i])
+		}
+	}
+	if remoteTab.String() != localTab.String() {
+		t.Fatalf("remote and local milestone tables differ:\nremote:\n%s\nlocal:\n%s", remoteTab, localTab)
+	}
+	if remoteRes.FinalAccuracy < 0.999 {
+		t.Errorf("final accuracy = %v against the exact backend", remoteRes.FinalAccuracy)
+	}
+}

@@ -206,27 +206,15 @@ func NewDecoder(n int, queries [][]int, objective LPObjective) (*Decoder, error)
 
 // Decode fits a fractional database to one answer vector for the
 // Decoder's query set and rounds it, warm-starting from the basis of the
-// previous decode when one exists.
+// previous decode when one exists. It is the batch wrapper over the
+// streaming path: one Stream session pushing the whole answer vector at
+// once (see StreamDecoder for the incremental, anytime form).
 func (d *Decoder) Decode(ctx context.Context, answers []float64) ([]int64, []float64, error) {
 	if len(answers) != len(d.queries) {
 		return nil, nil, fmt.Errorf("recon: %d answers for %d queries", len(answers), len(d.queries))
 	}
 	mLPDecodes.Add(1)
-	for qi, a := range answers {
-		d.cons[2*qi].RHS = a
-		d.cons[2*qi+1].RHS = -a
-	}
-	sol, err := lp.Revised(ctx, &lp.Problem{NumVars: d.nv, Objective: d.obj, Constraints: d.cons}, d.basis)
-	if err != nil {
-		return nil, nil, fmt.Errorf("recon: LP solve: %w", err)
-	}
-	if sol.Status != lp.Optimal {
-		return nil, nil, fmt.Errorf("recon: LP status %v", sol.Status)
-	}
-	d.basis = sol.Basis
-	frac := make([]float64, d.n)
-	copy(frac, sol.X[:d.n])
-	return Round(frac), frac, nil
+	return d.Stream().Push(ctx, answers)
 }
 
 // DecodeOracle asks the oracle the Decoder's query set as one batch and

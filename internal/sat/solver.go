@@ -582,6 +582,14 @@ func (s *Solver) Model() []bool {
 	return m
 }
 
+// Backtrack undoes every decision, returning the solver to level 0 while
+// keeping its learned clauses, activity scores and saved phases. It is
+// the incremental-solving hook: after a Sat result (which leaves the
+// trail at the final decision level), Backtrack re-opens the solver so
+// new constraints can be added with AddClause and a further Solve call
+// continues from everything learned so far instead of restarting cold.
+func (s *Solver) Backtrack() { s.cancelUntil(0) }
+
 // BlockModel adds a clause excluding the current assignment restricted to
 // the given variables, enabling model enumeration. Call after a Sat result
 // and before the next Solve. Solve resets to level 0 internally, so the
