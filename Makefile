@@ -8,8 +8,9 @@
 #                  plus an advisory govulncheck pass when the tool exists
 #   make bench     quick instrumented repro run producing BENCH_<rev>.json
 #   make benchgate benchdiff against the committed BENCH_baseline.json
-#   make loadgen-smoke  in-process qserver load run; requires the
-#                  BENCH.qserver.* throughput/latency rows to survive
+#   make loadgen-smoke  sharded in-process qserver under injected
+#                  overload; requires the BENCH.qserver.* rows
+#                  (throughput/latency/shards/shed) to survive
 #   make gobench   the root go test -bench suite with work counters
 #   make repro     full-size experiment tables (what EXPERIMENTS.md archives)
 
@@ -91,7 +92,9 @@ benchgate: repro-quick
 # below the -min floor, so wall-clock noise never fails CI here.
 loadgen-smoke:
 	mkdir -p /tmp/singlingout-loadgen
-	$(GO) run ./cmd/loadgen -analysts 4 -requests 16 -budget 100 -metrics /tmp/singlingout-loadgen/loadgen.jsonl
+	$(GO) run ./cmd/loadgen -analysts 4 -requests 16 -budget 100 \
+		-shards 2 -max-concurrent 1 -queue-depth -1 -inject-delay 5ms -concurrency 4 \
+		-metrics /tmp/singlingout-loadgen/loadgen.jsonl
 	$(GO) run ./cmd/benchdiff -gate 50 -min 0.25 -require BENCH.qserver. BENCH_loadgen_baseline.json /tmp/singlingout-loadgen/BENCH_$(rev).json
 
 gobench:

@@ -10,11 +10,18 @@
 //	loadgen [-url http://host:port] [-analysts 4] [-requests 16] [-batch 8]
 //	        [-pool 64] [-zipf 1.3] [-repeat 0.25] [-backend exact]
 //	        [-concurrency 1] [-seed 42] [-n 96] [-p 0.5] [-budget 0]
-//	        [-metrics journal.jsonl]
+//	        [-shards 1] [-queue-depth 64] [-max-concurrent 16]
+//	        [-inject-delay 0] [-metrics journal.jsonl]
 //
 // Without -url, loadgen starts an in-process qserver on a loopback
-// listener (sized by -n/-p/-budget at -seed) and drives that, so a single
-// command smoke-tests the whole service stack.
+// listener (sized by -n/-p/-budget at -seed, partitioned by -shards with
+// per-shard admission control from -queue-depth/-max-concurrent) and
+// drives that, so a single command smoke-tests the whole service stack.
+// -inject-delay adds artificial per-request service time to that server,
+// which together with a small -max-concurrent and -queue-depth -1 (no
+// waiting room) produces reproducible overload: shed requests surface in
+// the qserver.shed counter, the BENCH.qserver.shed row, and — when a
+// batch outlasts the client's retries — the workload table's shed column.
 //
 // The workload is precomputed deterministically from -seed (per-analyst
 // RNGs derive from (seed, analyst index)), and stdout carries only
@@ -66,6 +73,7 @@ type analystRun struct {
 	queries   int
 	repeats   int
 	denied    int // batches refused with budget_exhausted
+	shed      int // batches still overloaded after the client's retries
 	latencies []time.Duration
 	err       error
 }
@@ -86,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	n := fs.Int("n", 96, "in-process server: dataset size")
 	p := fs.Float64("p", 0.5, "in-process server: Bernoulli parameter")
 	budget := fs.Int("budget", 0, "in-process server: per-analyst fresh-query budget (0 = unlimited)")
+	shards := fs.Int("shards", 1, "in-process server: cache/ledger partitions")
+	queueDepth := fs.Int("queue-depth", 64, "in-process server: per-shard admission queue bound (-1 = no waiting room)")
+	maxConcurrent := fs.Int("max-concurrent", 16, "in-process server: total active-request bound across shards")
+	injectDelay := fs.Duration("inject-delay", 0, "in-process server: artificial per-request service time (overload testing)")
 	metricsPath := fs.String("metrics", "", "write a JSONL journal here and a BENCH_<rev>.json summary beside it")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -115,6 +127,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if base == "" {
 		srv, err := remote.NewServer(remote.ServerConfig{
 			N: *n, Seed: *seed, P: *p, Budget: *budget,
+			Shards: *shards, QueueDepth: *queueDepth,
+			MaxConcurrent: *maxConcurrent, Delay: *injectDelay,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "loadgen: %v\n", err)
@@ -213,6 +227,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 						ar.denied++
 						continue
 					}
+					if errors.Is(err, query.ErrOverloaded) {
+						// The server shed this batch past the client's retry
+						// budget — under injected overload that is the system
+						// working, not a failure.
+						ar.shed++
+						continue
+					}
 					ar.err = err
 					return
 				}
@@ -242,10 +263,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	p50 := sampleQuantile(latencies, 0.50)
 	p99 := sampleQuantile(latencies, 0.99)
 	qps := float64(totalQueries) / elapsed.Seconds()
-	fmt.Fprintf(stderr, "loadgen: %d requests (%d queries) in %.3fs — %.0f queries/s; latency p50=%s p99=%s\n",
-		totalRequests, totalQueries, elapsed.Seconds(), qps, p50, p99)
+	// Server-side shed count over the run (meaningful for the in-process
+	// server, which records into the same default registry).
+	delta := obs.Default().Snapshot().Delta(before)
+	shedTotal := int(delta.Counters[remote.MetricShed])
+	fmt.Fprintf(stderr, "loadgen: %d requests (%d queries) in %.3fs — %.0f queries/s; latency p50=%s p99=%s; shed attempts=%d (%.2f per request)\n",
+		totalRequests, totalQueries, elapsed.Seconds(), qps, p50, p99,
+		shedTotal, float64(shedTotal)/float64(totalRequests))
 	if journal != nil {
-		delta := obs.Default().Snapshot().Delta(before)
 		load := obs.Event{
 			Phase:   "experiment",
 			ID:      "BENCH.qserver.load",
@@ -259,6 +284,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		_ = journal.Emit(load)
 		_ = journal.Emit(obs.Event{Phase: "experiment", ID: "BENCH.qserver.p50", Seed: *seed, Seconds: p50.Seconds()})
 		_ = journal.Emit(obs.Event{Phase: "experiment", ID: "BENCH.qserver.p99", Seed: *seed, Seconds: p99.Seconds()})
+		_ = journal.Emit(obs.Event{Phase: "experiment", ID: "BENCH.qserver.shards", Seed: *seed,
+			Sizes: map[string]int{"shards": *shards}})
+		_ = journal.Emit(obs.Event{Phase: "experiment", ID: "BENCH.qserver.shed", Seed: *seed,
+			Sizes: map[string]int{"shed": shedTotal, "requests": totalRequests}})
 		_ = journal.Emit(obs.Event{Phase: "run_end", Seed: *seed, Seconds: elapsed.Seconds()})
 		if path, err := writeBench(*metricsPath); err != nil {
 			fmt.Fprintf(stderr, "loadgen: bench summary: %v\n", err)
@@ -272,10 +301,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// server's ledger view of it.
 	fmt.Fprintf(stdout, "loadgen workload: analysts=%d requests=%d batch=%d pool=%d zipf=%g repeat=%g backend=%s seed=%d\n",
 		*analysts, *requests, *batch, *pool, *zipfS, *repeat, *backend, *seed)
-	fmt.Fprintf(stdout, "%-10s %9s %9s %9s %9s\n", "analyst", "requests", "queries", "repeats", "denied")
+	fmt.Fprintf(stdout, "%-10s %9s %9s %9s %9s %9s\n", "analyst", "requests", "queries", "repeats", "denied", "shed")
 	for i := range runs {
-		fmt.Fprintf(stdout, "%-10s %9d %9d %9d %9d\n",
-			runs[i].name, runs[i].requests, runs[i].queries, runs[i].repeats, runs[i].denied)
+		fmt.Fprintf(stdout, "%-10s %9d %9d %9d %9d %9d\n",
+			runs[i].name, runs[i].requests, runs[i].queries, runs[i].repeats, runs[i].denied, runs[i].shed)
 	}
 	if err := printLedger(ctx, stdout, dialProbe, runs); err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)

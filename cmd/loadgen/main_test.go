@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"singlingout/internal/obs"
+	"singlingout/internal/query/remote"
 )
 
 // TestTwoRunStdoutInvariance pins the determinism contract: at
@@ -77,6 +78,49 @@ func TestBudgetDenialsSurface(t *testing.T) {
 	}
 	if deniedTotal == 0 {
 		t.Errorf("expected budget denials in:\n%s", out.String())
+	}
+}
+
+// TestOverloadInjectionSheds drives a deliberately undersized sharded
+// server (one active slot per shard, no waiting room, injected service
+// time) with concurrent analysts: requests must be shed, the run must
+// still exit 0 with a replay-clean ledger (shedding never corrupts
+// budget accounting), and the bench summary must carry the shed/shards
+// rows the CI gate requires.
+func TestOverloadInjectionSheds(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "loadgen.jsonl")
+	args := []string{"-analysts", "4", "-requests", "6", "-batch", "4",
+		"-shards", "2", "-max-concurrent", "1", "-queue-depth", "-1",
+		"-inject-delay", "10ms", "-concurrency", "4", "-metrics", journal}
+	before := obs.Default().Snapshot()
+	var out bytes.Buffer
+	if code := run(args, &out, io.Discard); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	delta := obs.Default().Snapshot().Delta(before)
+	if delta.Counters[remote.MetricShed] == 0 {
+		t.Error("no requests shed under injected overload")
+	}
+	if !strings.Contains(out.String(), "replay ok") {
+		t.Errorf("ledger did not replay cleanly under overload:\n%s", out.String())
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("bench summary files = %v (err %v), want exactly one", matches, err)
+	}
+	sum, err := obs.ReadBenchFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, e := range sum.Experiments {
+		got[e.ID] = true
+	}
+	for _, id := range []string{"BENCH.qserver.shards", "BENCH.qserver.shed"} {
+		if !got[id] {
+			t.Errorf("bench summary missing row %s (have %v)", id, got)
+		}
 	}
 }
 

@@ -96,6 +96,76 @@ func TestServeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestartResumesWAL boots qserver with a ledger WAL, spends budget,
+// SIGTERMs it, boots a second process over the same WAL (sharded this
+// time), and checks the spend survived — the full-process version of the
+// restart-durability guarantee.
+func TestRestartResumesWAL(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "ledger.wal")
+	boot := func(extra ...string) (string, chan int) {
+		ready := make(chan string, 1)
+		done := make(chan int, 1)
+		args := append([]string{
+			"-addr", "127.0.0.1:0", "-n", "24", "-seed", "7", "-budget", "10", "-wal", walPath,
+		}, extra...)
+		go func() { done <- run(args, func(addr string) { ready <- addr }) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, done
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+			return "", nil
+		}
+	}
+	stop := func(done chan int) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case status := <-done:
+			if status != 0 {
+				t.Fatalf("run exited %d", status)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never shut down")
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	base, done := boot()
+	o, err := remote.Dial(ctx, base, remote.Options{Analyst: "alice", Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Answer(ctx, [][]int{{0}, {1}, {2}, {3}, {4}, {5}, {6}}); err != nil {
+		t.Fatal(err)
+	}
+	stop(done)
+
+	base2, done2 := boot("-shards", "2")
+	defer stop(done2)
+	o2, err := remote.Dial(ctx, base2, remote.Options{Analyst: "alice", Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := o2.FetchLedger(ctx, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Totals["alice"] != 7 {
+		t.Fatalf("restarted server remembers %d spent, want 7", lr.Totals["alice"])
+	}
+	// 4 more fresh queries would exceed the budget of 10.
+	if _, err := o2.Answer(ctx, [][]int{{7}, {8}, {9}, {10}}); err == nil {
+		t.Fatal("over-budget batch should fail after restart — spent epsilon must survive")
+	}
+	if _, err := o2.Answer(ctx, [][]int{{7}, {8}, {9}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	if got := run([]string{"-n", "0"}, nil); got != 1 {
 		t.Errorf("run with n=0 returned %d, want 1", got)

@@ -38,6 +38,14 @@ var ErrBudgetExhausted = errors.New("query: query budget exhausted")
 // wraps it.
 var ErrInvalidQuery = errors.New("query: invalid query")
 
+// ErrOverloaded is the sentinel for a query refused by admission control:
+// the serving side's bounded queue was full and the request was shed
+// rather than answered. Unlike ErrBudgetExhausted it spends nothing and
+// is transient — the remote client retries it with backoff (honoring the
+// server's retry-after hint) before surfacing it, so a caller seeing it
+// has already outlasted the retry policy.
+var ErrOverloaded = errors.New("query: server overloaded")
+
 // Oracle answers subset-sum queries over a hidden binary dataset.
 type Oracle interface {
 	// Answer returns one estimate of Σ_{i∈q} x_i per query, in order.

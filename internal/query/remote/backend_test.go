@@ -1,0 +1,217 @@
+package remote_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"singlingout/internal/obs"
+	"singlingout/internal/query"
+	"singlingout/internal/query/remote"
+)
+
+// doubleBackend is a custom registry entry: exact answers scaled by two.
+// Deterministic per canonical query, as the Backend contract requires.
+type doubleBackend struct{}
+
+func (doubleBackend) Name() string { return "double" }
+func (doubleBackend) Open(_ remote.ServerConfig, x []int64) (query.Oracle, error) {
+	return scaledOracle{inner: &query.Exact{X: x}}, nil
+}
+
+type scaledOracle struct{ inner query.Oracle }
+
+func (s scaledOracle) N() int { return s.inner.N() }
+func (s scaledOracle) Answer(ctx context.Context, qs [][]int) ([]float64, error) {
+	a, err := s.inner.Answer(ctx, qs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range a {
+		a[i] *= 2
+	}
+	return a, nil
+}
+
+type renamedBackend struct {
+	name string
+	remote.Backend
+}
+
+func (r renamedBackend) Name() string { return r.name }
+
+func TestCustomBackendRegistration(t *testing.T) {
+	cfg := remote.ServerConfig{
+		Seed:     13,
+		Backends: append(remote.Builtins(), doubleBackend{}),
+	}
+	_, ts := newTestServer(t, cfg)
+	exact := dialAnalyst(t, ts.URL, "exact", "a")
+	double := dialAnalyst(t, ts.URL, "double", "a")
+	if got := exact.Meta().Backends; len(got) != 4 || got[0] != "diffix" || got[1] != "double" {
+		t.Fatalf("advertised backends = %v", got)
+	}
+	batch := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	base, err := exact.Answer(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := double.Answer(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if twice[i] != 2*base[i] {
+			t.Fatalf("double[%d] = %v, want %v", i, twice[i], 2*base[i])
+		}
+	}
+}
+
+func TestBackendRegistryValidation(t *testing.T) {
+	base := remote.ServerConfig{N: 16, P: 0.5}
+	dup := base
+	dup.Backends = []remote.Backend{doubleBackend{}, doubleBackend{}}
+	if _, err := remote.NewServer(dup); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate backend name: err = %v", err)
+	}
+	bad := base
+	bad.Backends = []remote.Backend{renamedBackend{name: "Not-A-Name", Backend: doubleBackend{}}}
+	if _, err := remote.NewServer(bad); err == nil || !strings.Contains(err.Error(), "must match") {
+		t.Fatalf("invalid backend name: err = %v", err)
+	}
+	empty := base
+	empty.Backends = []remote.Backend{}
+	// nil means Builtins(); an explicitly empty registry is the zero-value
+	// nil again, so it also falls back — assert the builtin set survives.
+	srv, err := remote.NewServer(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.Meta().Backends; len(got) != 3 {
+		t.Fatalf("empty registry should fall back to builtins, got %v", got)
+	}
+}
+
+// blockingBackend parks every Answer call until release is closed,
+// signalling entry on entered — the deterministic way to hold a server's
+// active slot while the test probes its overload behavior.
+type blockingBackend struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (blockingBackend) Name() string { return "block" }
+func (b blockingBackend) Open(_ remote.ServerConfig, x []int64) (query.Oracle, error) {
+	return &blockingOracle{n: len(x), entered: b.entered, release: b.release}, nil
+}
+
+type blockingOracle struct {
+	n       int
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (o *blockingOracle) N() int { return o.n }
+func (o *blockingOracle) Answer(ctx context.Context, qs [][]int) ([]float64, error) {
+	select {
+	case o.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-o.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return make([]float64, len(qs)), nil
+}
+
+// TestOverloadShedsTyped drives the server into deterministic overload
+// (one active slot, no waiting room, a backend that blocks) and checks
+// both halves of the contract: the wire carries a typed CodeOverloaded
+// refusal with retry hints, and the client surfaces query.ErrOverloaded
+// once retries are exhausted. Shedding is visible in qserver.shed.
+func TestOverloadShedsTyped(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	bb := blockingBackend{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	// Release on any exit path — a Fatalf before the explicit release must
+	// not leave the parked request holding the test server open forever.
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(bb.release) }) }
+	t.Cleanup(release)
+	cfg := remote.ServerConfig{
+		Seed:          29,
+		MaxConcurrent: 1,
+		Shards:        1,
+		QueueDepth:    -1, // no waiting room: second request sheds immediately
+		Backends:      []remote.Backend{bb},
+		Registry:      reg,
+	}
+	_, ts := newTestServer(t, cfg)
+
+	first := dialAnalyst(t, ts.URL, "block", "alice")
+	done := make(chan error, 1)
+	go func() {
+		_, err := first.Answer(ctx, [][]int{{0}})
+		done <- err
+	}()
+	<-bb.entered // the lone active slot is now held
+
+	// Raw wire view of the shed.
+	resp, err := http.Post(ts.URL+"/v1/query/block", "application/json",
+		strings.NewReader(`{"v":1,"analyst":"alice","queries":[[1]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response is missing the Retry-After header")
+	}
+	var er remote.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Err.Code != remote.CodeOverloaded || er.Err.RetryAfterMs <= 0 {
+		t.Fatalf("shed body = %+v, want code %q with a positive retry hint", er.Err, remote.CodeOverloaded)
+	}
+
+	// Client view: retries disabled, the sentinel surfaces directly.
+	opts := fastOpts()
+	opts.Backend = "block"
+	opts.Analyst = "alice"
+	opts.Retries = -1
+	second, err := remote.Dial(ctx, ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := second.Answer(ctx, [][]int{{2}}); !errors.Is(err, query.ErrOverloaded) {
+		t.Fatalf("shed client error = %v, want query.ErrOverloaded", err)
+	}
+
+	if got := reg.Counter(remote.MetricShed).Value(); got != 2 {
+		t.Fatalf("qserver.shed = %d, want 2", got)
+	}
+
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("the admitted request should complete after release: %v", err)
+	}
+
+	// With the slot free again, a retrying client succeeds.
+	opts.Retries = 3
+	third, err := remote.Dial(ctx, ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := third.Answer(ctx, [][]int{{3}}); err != nil {
+		t.Fatalf("post-overload request failed: %v", err)
+	}
+}

@@ -18,7 +18,7 @@ import (
 
 // Metric names recorded by the client Oracle.
 const (
-	MetricClientRetries = "remote.retries"    // retried chunk submissions
+	MetricClientRetries = "remote.retries"    // retried requests (POST chunks and GETs)
 	MetricClientBackoff = "remote.backoff_ns" // per-retry backoff sleeps
 )
 
@@ -33,11 +33,13 @@ type Options struct {
 	// MaxBatch caps queries per HTTP request (chunking larger Answer
 	// calls); 0 means the server's advertised max_batch.
 	MaxBatch int
-	// Retries is how many times a transient failure (network error or
-	// 5xx) is retried per chunk; 0 means 3. Negative disables retries.
+	// Retries is how many times a transient failure (network error, 5xx,
+	// or an overload shed) is retried per request; 0 means 3. Negative
+	// disables retries.
 	Retries int
 	// Backoff is the initial retry delay, doubled per attempt; 0 means
-	// 50ms.
+	// 50ms. An overload refusal's retry_after_ms hint is used instead
+	// when it is longer than the computed backoff.
 	Backoff time.Duration
 	// Client is the HTTP client; nil means http.DefaultClient.
 	Client *http.Client
@@ -60,6 +62,7 @@ type Oracle struct {
 	base   string
 	opts   Options
 	meta   Meta
+	v      int    // negotiated wire version, stamped on every request
 	trace  string // wire trace id, stable for the oracle's lifetime
 	tracer *obs.Tracer
 	lane   int
@@ -69,8 +72,12 @@ type Oracle struct {
 }
 
 // Dial fetches baseURL/v1/meta and returns an Oracle bound to that
-// server. It fails fast on an unreachable server or a wire-version
-// mismatch.
+// server. It negotiates the wire version: the client asks for its newest
+// schema (/v1/meta?v=2) and falls back to the baseline request when the
+// server refuses the parameter; either way the server's answer names the
+// version it speaks, and every subsequent request is stamped with it. A
+// server outside the client's [1, VMax] range fails the dial. The meta
+// fetch retries transient failures like any other request.
 func Dial(ctx context.Context, baseURL string, opts Options) (*Oracle, error) {
 	if opts.Backend == "" {
 		opts.Backend = "exact"
@@ -98,24 +105,18 @@ func Dial(ctx context.Context, baseURL string, opts Options) (*Oracle, error) {
 		retries: reg.Counter(MetricClientRetries),
 		backoff: reg.Histogram(MetricClientBackoff),
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/meta", nil)
-	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
+	if err := o.getJSON(ctx, "/v1/meta?v="+strconv.Itoa(VMax), &o.meta); err != nil {
+		// A pre-negotiation server may refuse the ?v= parameter outright;
+		// re-ask in the baseline shape before giving up.
+		o.meta = Meta{}
+		if ferr := o.getJSON(ctx, "/v1/meta", &o.meta); ferr != nil {
+			return nil, fmt.Errorf("remote: dialing query server: %w", err)
+		}
 	}
-	resp, err := opts.Client.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("remote: dialing query server: %w", err)
+	if o.meta.V < V || o.meta.V > VMax {
+		return nil, fmt.Errorf("remote: server speaks wire version %d, client speaks 1..%d", o.meta.V, VMax)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("remote: meta returned %s", resp.Status)
-	}
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&o.meta); err != nil {
-		return nil, fmt.Errorf("remote: undecodable meta: %w", err)
-	}
-	if o.meta.V != V {
-		return nil, fmt.Errorf("remote: server speaks wire version %d, client speaks %d", o.meta.V, V)
-	}
+	o.v = o.meta.V
 	if o.meta.N <= 0 {
 		return nil, fmt.Errorf("remote: server advertises dataset size %d", o.meta.N)
 	}
@@ -126,8 +127,11 @@ func Dial(ctx context.Context, baseURL string, opts Options) (*Oracle, error) {
 }
 
 // Meta returns the server's advertised metadata (dataset seed/size,
-// backends, budget).
+// backends, budget; plus serving topology when v2 was negotiated).
 func (o *Oracle) Meta() Meta { return o.meta }
+
+// WireVersion reports the wire schema version negotiated at Dial.
+func (o *Oracle) WireVersion() int { return o.v }
 
 // TraceID returns the oracle's wire trace id: 16 hex characters,
 // deterministically derived from (base URL, backend, analyst), stamped on
@@ -176,24 +180,46 @@ func (o *Oracle) FetchLedger(ctx context.Context, analyst string) (LedgerRespons
 	return lr, nil
 }
 
-// getJSON GETs base+path and decodes the JSON body into v.
+// getJSON GETs base+path and decodes the JSON body into v, retrying
+// transient failures (network errors, 5xx) with the same backoff and
+// telemetry as query submission — a ledger or trace fetch racing a
+// server restart deserves the same persistence as a batch.
 func (o *Oracle) getJSON(ctx context.Context, path string, v any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		retryable, err := o.getOnce(ctx, path, v)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= o.opts.Retries {
+			return lastErr
+		}
+		if werr := o.await(ctx, attempt, 0, 0, err); werr != nil {
+			return werr
+		}
+	}
+}
+
+// getOnce performs one GET attempt; retryable marks failures worth
+// re-asking (the request never mutates server state).
+func (o *Oracle) getOnce(ctx context.Context, path string, v any) (retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, o.base+path, nil)
 	if err != nil {
-		return fmt.Errorf("remote: %w", err)
+		return false, fmt.Errorf("remote: %w", err)
 	}
 	resp, err := o.opts.Client.Do(req)
 	if err != nil {
-		return fmt.Errorf("remote: GET %s: %w", path, err)
+		return true, fmt.Errorf("remote: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: GET %s returned %s", path, resp.Status)
+		return resp.StatusCode >= 500, fmt.Errorf("remote: GET %s returned %s", path, resp.Status)
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(v); err != nil {
-		return fmt.Errorf("remote: GET %s: undecodable body: %w", path, err)
+		return false, fmt.Errorf("remote: GET %s: undecodable body: %w", path, err)
 	}
-	return nil
+	return false, nil
 }
 
 // N implements query.Oracle.
@@ -201,12 +227,13 @@ func (o *Oracle) N() int { return o.meta.N }
 
 // Answer implements query.Oracle: the batch is chunked to the negotiated
 // batch limit and submitted as POST /v1/query/{backend} requests.
-// Transient failures (network errors, 5xx) are retried with exponential
-// backoff; refusals come back as the repository's sentinel errors —
-// errors.Is(err, query.ErrBudgetExhausted) on an exhausted budget,
-// query.ErrInvalidQuery on a malformed query, diffix.ErrSuppressed on
-// low-count suppression — so attack code handles remote and in-process
-// oracles identically.
+// Transient failures (network errors, 5xx, overload sheds) are retried
+// with exponential backoff; refusals come back as the repository's
+// sentinel errors — errors.Is(err, query.ErrBudgetExhausted) on an
+// exhausted budget, query.ErrInvalidQuery on a malformed query,
+// diffix.ErrSuppressed on low-count suppression, query.ErrOverloaded on
+// a shed the retries could not outlast — so attack code handles remote
+// and in-process oracles identically.
 func (o *Oracle) Answer(ctx context.Context, queries [][]int) ([]float64, error) {
 	out := make([]float64, 0, len(queries))
 	for start := 0; start < len(queries); start += o.opts.MaxBatch {
@@ -229,15 +256,17 @@ func (o *Oracle) Answer(ctx context.Context, queries [][]int) ([]float64, error)
 // submit POSTs one chunk, retrying transient failures. Each retry bumps
 // the remote.retries counter, records the backoff sleep into
 // remote.backoff_ns, and (when a journal is configured) emits one
-// query_retry event naming the attempt and the transient error.
+// query_retry event naming the attempt and the transient error. An
+// overload shed counts as transient: the server said "later", and its
+// retry_after_ms hint stretches the backoff when longer.
 func (o *Oracle) submit(ctx context.Context, chunk [][]int) ([]float64, error) {
-	body, err := json.Marshal(QueryRequest{V: V, Analyst: o.opts.Analyst, Queries: chunk})
+	body, err := json.Marshal(QueryRequest{V: o.v, Analyst: o.opts.Analyst, Queries: chunk})
 	if err != nil {
 		return nil, fmt.Errorf("remote: %w", err)
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		answers, retryable, err := o.post(ctx, body, len(chunk))
+		answers, retryable, hintMs, err := o.post(ctx, body, len(chunk))
 		if err == nil {
 			return answers, nil
 		}
@@ -245,23 +274,37 @@ func (o *Oracle) submit(ctx context.Context, chunk [][]int) ([]float64, error) {
 		if !retryable || attempt >= o.opts.Retries {
 			return nil, lastErr
 		}
-		delay := o.opts.Backoff << uint(attempt)
-		o.retries.Add(1)
-		o.backoff.Observe(delay.Nanoseconds())
-		o.journalRetry(attempt+1, len(chunk), err)
-		t := time.NewTimer(delay)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return nil, ctx.Err()
-		case <-t.C:
+		if werr := o.await(ctx, attempt, hintMs, len(chunk), err); werr != nil {
+			return nil, werr
 		}
+	}
+}
+
+// await sleeps one retry backoff: exponential from Options.Backoff,
+// stretched to the server's retry hint when that is longer, recorded in
+// remote.retries / remote.backoff_ns and the journal.
+func (o *Oracle) await(ctx context.Context, attempt, hintMs, queries int, cause error) error {
+	delay := o.opts.Backoff << uint(attempt)
+	if hint := time.Duration(hintMs) * time.Millisecond; hint > delay {
+		delay = hint
+	}
+	o.retries.Add(1)
+	o.backoff.Observe(delay.Nanoseconds())
+	o.journalRetry(attempt+1, queries, cause)
+	t := time.NewTimer(delay)
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
 // journalRetry emits one query_retry event (when a journal is
 // configured): which backend, which attempt is about to run, how many
-// queries the chunk carries, and the transient error being retried.
+// queries the request carries (0 for a GET), and the transient error
+// being retried.
 func (o *Oracle) journalRetry(attempt, queries int, err error) {
 	if o.opts.Journal == nil {
 		return
@@ -276,13 +319,14 @@ func (o *Oracle) journalRetry(attempt, queries int, err error) {
 }
 
 // post performs one HTTP attempt. retryable marks transient failures
-// (network errors and 5xx); 4xx refusals are mapped to sentinels and
-// never retried — resubmitting an over-budget batch cannot succeed.
-func (o *Oracle) post(ctx context.Context, body []byte, want int) (answers []float64, retryable bool, err error) {
+// (network errors, 5xx, overload sheds — hintMs carries the shed's
+// retry_after_ms); 4xx refusals are mapped to sentinels and never
+// retried — resubmitting an over-budget batch cannot succeed.
+func (o *Oracle) post(ctx context.Context, body []byte, want int) (answers []float64, retryable bool, hintMs int, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		o.base+"/v1/query/"+o.opts.Backend, bytes.NewReader(body))
 	if err != nil {
-		return nil, false, fmt.Errorf("remote: %w", err)
+		return nil, false, 0, fmt.Errorf("remote: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	// Propagate the trace over the wire: the server continues this span
@@ -299,30 +343,35 @@ func (o *Oracle) post(ctx context.Context, body []byte, want int) (answers []flo
 	}
 	resp, err := o.opts.Client.Do(req)
 	if err != nil {
-		return nil, true, fmt.Errorf("remote: query server unreachable: %w", err)
+		return nil, true, 0, fmt.Errorf("remote: query server unreachable: %w", err)
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, true, fmt.Errorf("remote: reading response: %w", err)
+		return nil, true, 0, fmt.Errorf("remote: reading response: %w", err)
 	}
 	if resp.StatusCode >= 500 {
-		return nil, true, fmt.Errorf("remote: server error %s: %s", resp.Status, errMessage(payload))
+		var er ErrorResponse
+		if json.Unmarshal(payload, &er) == nil && er.Err.Code == CodeOverloaded {
+			return nil, true, er.Err.RetryAfterMs,
+				fmt.Errorf("remote: %s: %w", er.Err.Message, query.ErrOverloaded)
+		}
+		return nil, true, 0, fmt.Errorf("remote: server error %s: %s", resp.Status, errMessage(payload))
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, false, refusalError(resp.StatusCode, payload)
+		return nil, false, 0, refusalError(resp.StatusCode, payload)
 	}
 	var qr QueryResponse
 	if err := json.Unmarshal(payload, &qr); err != nil {
-		return nil, false, fmt.Errorf("remote: undecodable response: %w", err)
+		return nil, false, 0, fmt.Errorf("remote: undecodable response: %w", err)
 	}
-	if qr.V != V {
-		return nil, false, fmt.Errorf("remote: response wire version %d, want %d", qr.V, V)
+	if qr.V != o.v {
+		return nil, false, 0, fmt.Errorf("remote: response wire version %d, want %d", qr.V, o.v)
 	}
 	if len(qr.Answers) != want {
-		return nil, false, fmt.Errorf("remote: %d answers for %d queries", len(qr.Answers), want)
+		return nil, false, 0, fmt.Errorf("remote: %d answers for %d queries", len(qr.Answers), want)
 	}
-	return qr.Answers, false, nil
+	return qr.Answers, false, 0, nil
 }
 
 // refusalError maps a 4xx ErrorResponse to the repository's sentinel

@@ -3,68 +3,104 @@ package remote
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// ledger is the server's append-only privacy-loss accounting: every
-// budget movement (spend, refund, denial) becomes an immutable
-// LedgerEntry, and the per-analyst totals the server enforces are derived
-// state — ReplayLedger over the entry history reconstructs them exactly.
-// This replaces the bare analyst->int budget map: the paper's framing is
-// that privacy loss is a quantifiable, accountable resource, and a flat
-// counter cannot answer an auditor's "when did this analyst cross half
-// their budget, and on which queries?".
+// ledger is one shard of the server's append-only privacy-loss
+// accounting: every budget movement (spend, refund, denial) becomes an
+// immutable LedgerEntry, and the per-analyst totals the server enforces
+// are derived state — ReplayLedger over the entry history reconstructs
+// them exactly. This replaces the bare analyst->int budget map: the
+// paper's framing is that privacy loss is a quantifiable, accountable
+// resource, and a flat counter cannot answer an auditor's "when did this
+// analyst cross half their budget, and on which queries?".
 //
-// Sequence numbers are timestamp-free by design: under a deterministic
+// Sharding: each analyst is pinned to exactly one shard (consistent
+// hashing on the analyst id), so one analyst's entries are serialized by
+// one shard lock — the per-analyst cumulative order ReplayLedger checks
+// is a per-shard property, and no lock spans shards. Sequence numbers
+// come from a server-global atomic so the merged history has a total
+// order; they are timestamp-free by design — under a deterministic
 // (sequential) workload the whole ledger is byte-identical across runs,
 // which is what lets cmd/loadgen pin its two-run invariance test on the
 // ledger summary.
+//
+// Durability: when a wal is attached, an entry is appended to the log
+// BEFORE it is applied in memory. A failed disk write therefore leaves
+// the ledger unmoved and fails the request — the server refuses to move
+// budget it cannot account for durably.
 type ledger struct {
+	seq *atomic.Int64 // server-global sequence source, shared across shards
+	wal *wal          // nil = in-memory only
+
 	mu      sync.Mutex
 	entries []LedgerEntry
 	totals  map[string]int
-	nextSeq int64
 }
 
-func newLedger() *ledger {
-	return &ledger{totals: map[string]int{}}
+func newLedger(seq *atomic.Int64, w *wal) *ledger {
+	return &ledger{seq: seq, wal: w, totals: map[string]int{}}
 }
 
-// add appends one entry under the held lock and returns it.
-func (l *ledger) add(op, analyst, backend, hash, trace string, cost, cumulative int) LedgerEntry {
-	l.nextSeq++
+// add appends one entry under the held lock (WAL first) and returns it.
+func (l *ledger) add(op, analyst, backend, hash, trace string, cost, cumulative int) (LedgerEntry, error) {
 	e := LedgerEntry{
-		Seq: l.nextSeq, Analyst: analyst, Op: op, Backend: backend,
+		Seq: l.seq.Add(1), Analyst: analyst, Op: op, Backend: backend,
 		QueryHash: hash, Cost: cost, Cumulative: cumulative, Trace: trace,
 	}
+	if l.wal != nil {
+		if err := l.wal.append(e); err != nil {
+			return LedgerEntry{}, err
+		}
+	}
 	l.entries = append(l.entries, e)
-	return e
+	return e, nil
+}
+
+// seed loads replayed WAL entries into this shard without re-logging
+// them; called once at construction, before the shard serves traffic.
+func (l *ledger) seed(entries []LedgerEntry, totals map[string]int) {
+	l.entries = append(l.entries, entries...)
+	for a, v := range totals {
+		l.totals[a] = v
+	}
 }
 
 // spend atomically checks the analyst's budget and appends either a spend
 // entry (reserving cost fresh queries) or a deny entry (budget > 0 and
 // the reservation would exceed it; the cumulative is left unmoved). ok
 // reports whether the reservation was granted. budget == 0 never denies.
-func (l *ledger) spend(analyst, backend, hash, trace string, cost, budget int) (e LedgerEntry, ok bool) {
+// A non-nil error means the WAL refused the append: nothing moved.
+func (l *ledger) spend(analyst, backend, hash, trace string, cost, budget int) (e LedgerEntry, ok bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.totals[analyst]
 	if budget > 0 && cur+cost > budget {
-		return l.add(LedgerDeny, analyst, backend, hash, trace, cost, cur), false
+		e, err = l.add(LedgerDeny, analyst, backend, hash, trace, cost, cur)
+		return e, false, err
 	}
-	cur += cost
-	l.totals[analyst] = cur
-	return l.add(LedgerSpend, analyst, backend, hash, trace, cost, cur), true
+	e, err = l.add(LedgerSpend, analyst, backend, hash, trace, cost, cur+cost)
+	if err != nil {
+		return LedgerEntry{}, false, err
+	}
+	l.totals[analyst] = cur + cost
+	return e, true, nil
 }
 
 // refund reverses a prior spend (a batch that failed while being
 // answered): the analyst's cumulative drops by cost.
-func (l *ledger) refund(analyst, backend, hash, trace string, cost int) LedgerEntry {
+func (l *ledger) refund(analyst, backend, hash, trace string, cost int) (LedgerEntry, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur := l.totals[analyst] - cost
+	e, err := l.add(LedgerRefund, analyst, backend, hash, trace, cost, cur)
+	if err != nil {
+		return LedgerEntry{}, err
+	}
 	l.totals[analyst] = cur
-	return l.add(LedgerRefund, analyst, backend, hash, trace, cost, cur)
+	return e, nil
 }
 
 // total returns the analyst's current net spend.
@@ -74,8 +110,8 @@ func (l *ledger) total(analyst string) int {
 	return l.totals[analyst]
 }
 
-// snapshot copies the entry history (filtered to one analyst when
-// analyst != "") and the current totals.
+// snapshot copies the shard's entry history (filtered to one analyst
+// when analyst != "") and current totals.
 func (l *ledger) snapshot(analyst string) ([]LedgerEntry, map[string]int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -92,12 +128,32 @@ func (l *ledger) snapshot(analyst string) ([]LedgerEntry, map[string]int) {
 	return entries, totals
 }
 
+// mergeSnapshots folds per-shard snapshots into the single history and
+// totals view /v1/ledger serves: entries re-ordered by the global
+// sequence number, totals unioned (analyst partitioning makes the union
+// disjoint).
+func mergeSnapshots(shards []*ledger, analyst string) ([]LedgerEntry, map[string]int) {
+	var entries []LedgerEntry
+	totals := map[string]int{}
+	for _, l := range shards {
+		es, ts := l.snapshot(analyst)
+		entries = append(entries, es...)
+		for a, v := range ts {
+			totals[a] = v
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+	return entries, totals
+}
+
 // ReplayLedger folds an entry history back into the per-analyst net
 // totals: spends add their cost, refunds subtract it, denials move
 // nothing. An auditor replaying a /ledger response (or the budget.*
 // journal events) must land exactly on the server's enforced state; the
 // per-entry Cumulative field is cross-checked so a tampered or reordered
 // history fails loudly instead of replaying to a plausible wrong total.
+// The server itself runs this over its WAL on startup — a restart that
+// cannot replay to a consistent state refuses to serve.
 func ReplayLedger(entries []LedgerEntry) (map[string]int, error) {
 	totals := map[string]int{}
 	for i, e := range entries {

@@ -33,6 +33,7 @@ func newTestServer(t *testing.T, cfg remote.ServerConfig) (*remote.Server, *http
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { srv.Close() })
 	return srv, ts
 }
 

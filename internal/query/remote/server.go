@@ -8,7 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"singlingout/internal/diffix"
 	"singlingout/internal/obs"
@@ -28,6 +29,9 @@ const (
 	MetricErrors         = "qserver.errors"
 	MetricLatency        = "qserver.latency_ns"
 	MetricCacheSize      = "qserver.cache_size"
+	MetricShed           = "qserver.shed"        // requests refused by admission control
+	MetricQueueDepth     = "qserver.queue_depth" // admitted requests waiting for an active slot
+	MetricWALAppends     = "qserver.wal_appends" // ledger entries durably logged
 )
 
 // ServerConfig configures a query server. The dataset is generated, not
@@ -44,8 +48,45 @@ type ServerConfig struct {
 
 	Budget        int // per-analyst fresh-query budget, 0 = unlimited
 	MaxBatch      int // largest accepted batch, 0 = default 4096
-	MaxConcurrent int // concurrent request bound, 0 = default 16
+	MaxConcurrent int // total active-request bound, split across shards; 0 = default 16
 	Workers       int // pool workers per fresh sub-batch, 0 = GOMAXPROCS
+
+	// Shards partitions the answer cache (by canonical query) and the
+	// privacy-loss ledger + admission control (by analyst id) across
+	// independent locks via consistent hashing; 0 = 1. Reconstruction
+	// results are byte-identical at any shard count: every backend is
+	// deterministic per canonical query, so partitioning changes
+	// contention, never answers.
+	Shards int
+	// QueueDepth bounds each shard's admission queue: requests admitted
+	// but waiting for an active slot. Beyond active+QueueDepth a request
+	// is shed with CodeOverloaded instead of queuing unboundedly.
+	// 0 = default 64, negative = no waiting room (shed when all active
+	// slots are busy).
+	QueueDepth int
+	// RetryAfter is the backoff hint stamped on overload refusals
+	// (Retry-After header + retry_after_ms body field); 0 = 50ms.
+	RetryAfter time.Duration
+	// Delay injects an artificial per-request service time before the
+	// batch is processed — load/overload testing only (cmd/loadgen's
+	// -inject-delay uses it to make shedding reproducible); 0 = none.
+	Delay time.Duration
+
+	// WALPath makes the ledger durable: every entry is appended to this
+	// JSONL write-ahead log before it takes effect, and NewServer replays
+	// an existing file through ReplayLedger so spent epsilon survives a
+	// restart. Empty = in-memory only. The answer cache is never
+	// persisted — after a restart, previously-asked queries charge again
+	// (over-charging across restarts is the safe direction).
+	WALPath string
+	// WALSync fsyncs the WAL after every append (restart-over-crash
+	// durability at a per-entry fsync cost; the file is always synced on
+	// Close).
+	WALSync bool
+
+	// Backends is the oracle registry served under /v1/query/{name};
+	// nil = Builtins() (exact, laplace, diffix).
+	Backends []Backend
 
 	Registry *obs.Registry // nil = obs.Default()
 	Journal  *obs.Journal  // nil = no journal events
@@ -56,21 +97,28 @@ type ServerConfig struct {
 // the dataset; analysts see nothing but noisy (or exact, for the
 // calibration backend) counting-query answers, per-analyst budget
 // accounting, and an answer cache that makes repeated queries free — the
-// reference architecture the paper's attacks are aimed at.
+// reference architecture the paper's attacks are aimed at. State is
+// partitioned across shards (per-query cache shards, per-analyst ledger
+// and admission shards) so no lock in the request path is global, and
+// the ledger optionally writes ahead to a durable log so a restart never
+// forgets — and therefore never refunds — spent epsilon.
 type Server struct {
 	cfg      ServerConfig
 	x        []int64
 	backends map[string]query.Oracle
 	names    []string
-	gate     *par.Gate
 	mux      *http.ServeMux
 	tracer   *obs.Tracer
 	lane     int // trace lane of the query handler
 
-	mu    sync.Mutex
-	cache map[string]float64 // "<backend>|<canonical query>" -> answer
-
-	ledger *ledger // append-only per-analyst budget accounting
+	ring       *ring
+	caches     []cacheShard
+	cacheCount atomic.Int64 // distinct cached keys across shards
+	ledgers    []*ledger
+	seq        atomic.Int64 // global ledger sequence, shared by all shards
+	wal        *wal         // nil without WALPath
+	admits     []*admission
+	waiting    atomic.Int64 // queued-not-active requests across shards
 
 	requests       *obs.Counter
 	batchQueries   *obs.Counter
@@ -80,12 +128,19 @@ type Server struct {
 	budgetSpent    *obs.Counter
 	budgetRefunded *obs.Counter
 	errs           *obs.Counter
+	shed           *obs.Counter
+	walAppends     *obs.Counter
 	latency        *obs.Histogram
 	cacheSize      *obs.Gauge
+	queueDepth     *obs.Gauge
 }
 
-// NewServer builds a Server from cfg, generating the dataset and the
-// exact/laplace/diffix backends over it.
+// NewServer builds a Server from cfg, generating the dataset and opening
+// the registered backends over it. When cfg.WALPath names an existing
+// write-ahead log, the ledger is replayed from it (cross-checked with
+// ReplayLedger) before the server accepts traffic; a log that does not
+// replay cleanly fails construction rather than serving from a budget
+// state that cannot be audited.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("remote: server needs a positive dataset size, got %d", cfg.N)
@@ -108,6 +163,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 8
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	switch {
+	case cfg.QueueDepth == 0:
+		cfg.QueueDepth = 64
+	case cfg.QueueDepth < 0:
+		cfg.QueueDepth = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 50 * time.Millisecond
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = obs.Default()
@@ -117,19 +184,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tracer = obs.DefaultTracer()
 	}
 	x := Dataset(cfg.Seed, cfg.N, cfg.P)
+	regs := cfg.Backends
+	if len(regs) == 0 {
+		regs = Builtins()
+	}
+	backends, err := openBackends(cfg, x, regs)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg: cfg,
-		x:   x,
-		backends: map[string]query.Oracle{
-			"exact":   &query.Exact{X: x},
-			"laplace": &query.StickyLaplace{X: x, Eps: cfg.Eps, Seed: cfg.Seed},
-			"diffix":  &diffix.Cloak{X: x, SD: cfg.SD, Threshold: cfg.Threshold, Seed: cfg.Seed},
-		},
-		gate:   par.NewGate(cfg.MaxConcurrent),
-		tracer: tracer,
-		lane:   tracer.NewLane("qserver http"),
-		cache:  make(map[string]float64),
-		ledger: newLedger(),
+		cfg:      cfg,
+		x:        x,
+		backends: backends,
+		tracer:   tracer,
+		lane:     tracer.NewLane("qserver http"),
+		ring:     newRing(cfg.Shards),
 
 		requests:       reg.Counter(MetricRequests),
 		batchQueries:   reg.Counter(MetricBatchQueries),
@@ -139,13 +208,70 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		budgetSpent:    reg.Counter(MetricBudgetSpent),
 		budgetRefunded: reg.Counter(MetricBudgetRefunded),
 		errs:           reg.Counter(MetricErrors),
+		shed:           reg.Counter(MetricShed),
+		walAppends:     reg.Counter(MetricWALAppends),
 		latency:        reg.Histogram(MetricLatency),
 		cacheSize:      reg.Gauge(MetricCacheSize),
+		queueDepth:     reg.Gauge(MetricQueueDepth),
 	}
 	for name := range s.backends {
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
+
+	// Replay the WAL (if any) before any shard exists, then partition the
+	// replayed history by the same ring the live path uses — entries
+	// written under one shard count load cleanly under another.
+	var replayed []LedgerEntry
+	if cfg.WALPath != "" {
+		w, entries, err := openWAL(cfg.WALPath, cfg.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ReplayLedger(entries); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("remote: wal %s does not replay: %w", cfg.WALPath, err)
+		}
+		s.wal = w
+		replayed = entries
+	}
+	s.caches = make([]cacheShard, cfg.Shards)
+	for i := range s.caches {
+		s.caches[i].m = make(map[string]float64)
+	}
+	perShard := (cfg.MaxConcurrent + cfg.Shards - 1) / cfg.Shards
+	s.ledgers = make([]*ledger, cfg.Shards)
+	s.admits = make([]*admission, cfg.Shards)
+	for i := range s.ledgers {
+		s.ledgers[i] = newLedger(&s.seq, s.wal)
+		s.admits[i] = newAdmission(perShard, cfg.QueueDepth, &s.waiting, s.queueDepth)
+	}
+	if len(replayed) > 0 {
+		byShard := make([][]LedgerEntry, cfg.Shards)
+		totals := make([]map[string]int, cfg.Shards)
+		maxSeq := int64(0)
+		for _, e := range replayed {
+			sh := s.ring.shard(ledgerKey(e.Analyst))
+			byShard[sh] = append(byShard[sh], e)
+			if totals[sh] == nil {
+				totals[sh] = map[string]int{}
+			}
+			switch e.Op {
+			case LedgerSpend:
+				totals[sh][e.Analyst] += e.Cost
+			case LedgerRefund:
+				totals[sh][e.Analyst] -= e.Cost
+			}
+			if e.Seq > maxSeq {
+				maxSeq = e.Seq
+			}
+		}
+		s.seq.Store(maxSeq)
+		for i := range s.ledgers {
+			s.ledgers[i].seed(byShard[i], totals[i])
+		}
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/meta", s.handleMeta)
 	s.mux.HandleFunc("/v1/query/", s.handleQuery)
@@ -154,31 +280,68 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
+// Close releases the server's durable resources: the ledger WAL is
+// synced and closed (idempotent; a nil-WAL server closes trivially).
+// In-flight requests racing a Close may fail their ledger appends — the
+// batch then fails without moving budget, which is the safe side.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
 // Handler returns the /v1/* HTTP handler. Mount it alongside the obs
 // serve.Server handler to get /metrics, /snapshot, /healthz and /journal
 // on the same listener (see cmd/qserver).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Meta returns what GET /v1/meta serves.
+// Meta returns the full (v2) metadata; GET /v1/meta shapes it to the
+// negotiated version.
 func (s *Server) Meta() Meta {
 	return Meta{
-		V:        V,
-		N:        s.cfg.N,
-		Seed:     s.cfg.Seed,
-		P:        s.cfg.P,
-		Backends: append([]string(nil), s.names...),
-		Budget:   s.cfg.Budget,
-		MaxBatch: s.cfg.MaxBatch,
+		V:            VMax,
+		N:            s.cfg.N,
+		Seed:         s.cfg.Seed,
+		P:            s.cfg.P,
+		Backends:     append([]string(nil), s.names...),
+		Budget:       s.cfg.Budget,
+		MaxBatch:     s.cfg.MaxBatch,
+		Shards:       s.cfg.Shards,
+		QueueDepth:   s.cfg.QueueDepth,
+		RetryAfterMs: int(s.cfg.RetryAfter / time.Millisecond),
 	}
+}
+
+// metaAt shapes the metadata to one wire version: a v1 view omits the
+// v2 topology/overload fields entirely, so pre-v2 clients decode exactly
+// the schema they were built against.
+func (s *Server) metaAt(v int) Meta {
+	m := s.Meta()
+	m.V = v
+	if v < V2 {
+		m.Shards, m.QueueDepth, m.RetryAfterMs = 0, 0, 0
+	}
+	return m
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "GET only")
+		s.fail(w, V, http.StatusMethodNotAllowed, CodeBadRequest, "GET only")
 		return
 	}
 	s.requests.Add(1)
-	writeJSON(w, http.StatusOK, s.Meta())
+	v := V
+	if raw := r.URL.Query().Get("v"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > VMax {
+			s.fail(w, V, http.StatusBadRequest, CodeUnsupportedVersion,
+				fmt.Sprintf("requested wire version %q, server speaks 1..%d", raw, VMax))
+			return
+		}
+		v = parsed
+	}
+	writeJSON(w, http.StatusOK, s.metaAt(v))
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -186,7 +349,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer sp.End()
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		s.fail(w, V, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
 		return
 	}
 	// Continue the client's trace: the span this handler records carries
@@ -206,35 +369,61 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer tsp.End()
 	ctx := r.Context()
-	if err := s.gate.Enter(ctx); err != nil {
-		s.fail(w, http.StatusServiceUnavailable, CodeInternal, "cancelled while waiting for a slot")
-		return
-	}
-	defer s.gate.Leave()
 
 	name := strings.TrimPrefix(r.URL.Path, "/v1/query/")
 	backend, ok := s.backends[name]
 	if !ok {
-		s.fail(w, http.StatusNotFound, CodeUnknownBackend, fmt.Sprintf("no backend %q (have %s)", name, strings.Join(s.names, ", ")))
+		s.fail(w, V, http.StatusNotFound, CodeUnknownBackend, fmt.Sprintf("no backend %q (have %s)", name, strings.Join(s.names, ", ")))
 		return
 	}
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, "undecodable body: "+err.Error())
+		s.fail(w, V, http.StatusBadRequest, CodeBadRequest, "undecodable body: "+err.Error())
 		return
 	}
-	if req.V != V {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("wire version %d, server speaks %d", req.V, V))
+	if req.V < V || req.V > VMax {
+		s.fail(w, V, http.StatusBadRequest, CodeUnsupportedVersion,
+			fmt.Sprintf("wire version %d, server speaks 1..%d", req.V, VMax))
 		return
 	}
+	v := req.V // responses echo the request's version
 	if len(req.Queries) > s.cfg.MaxBatch {
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("batch of %d exceeds max_batch %d", len(req.Queries), s.cfg.MaxBatch))
+		s.fail(w, v, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("batch of %d exceeds max_batch %d", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
 	analyst := req.Analyst
 	if analyst == "" {
 		analyst = "anon"
+	}
+
+	// Admission control on the analyst's shard: claim a bounded queue
+	// slot or shed immediately — under overload the server answers
+	// "retry later" in microseconds instead of stacking requests.
+	shard := s.ring.shard(ledgerKey(analyst))
+	if err := s.admits[shard].enter(ctx); err != nil {
+		if errors.Is(err, errShed) {
+			s.shed.Add(1)
+			s.journal(name, analyst, trace, len(req.Queries), 0, 0, CodeOverloaded)
+			s.failOverloaded(w, v, fmt.Sprintf("shard %d admission queue full", shard))
+			return
+		}
+		s.fail(w, v, http.StatusServiceUnavailable, CodeInternal, "cancelled while waiting for a slot")
+		return
+	}
+	defer s.admits[shard].leave()
+
+	// Injected service time (overload testing): holds the active slot so
+	// concurrent load actually contends on admission.
+	if s.cfg.Delay > 0 {
+		t := time.NewTimer(s.cfg.Delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			s.fail(w, v, http.StatusServiceUnavailable, CodeInternal, "cancelled during injected delay")
+			return
+		case <-t.C:
+		}
 	}
 	s.batchQueries.Add(int64(len(req.Queries)))
 
@@ -248,16 +437,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cq := append([]int(nil), q...)
 		sort.Ints(cq)
 		if err := query.ValidateQuery(s.cfg.N, cq); err != nil {
-			s.fail(w, http.StatusBadRequest, CodeInvalidQuery, fmt.Sprintf("query %d: %v", i, err))
+			s.fail(w, v, http.StatusBadRequest, CodeInvalidQuery, fmt.Sprintf("query %d: %v", i, err))
 			return
 		}
 		canon[i] = cq
 		keys[i] = queryKey(name, cq)
 	}
 
-	// Cache pass under the lock: split the batch into hits and distinct
-	// misses. Only fresh (uncached) queries spend budget — asking again
-	// is free.
+	// Cache pass, one lock per touched cache shard: split the batch into
+	// hits and distinct misses. Only fresh (uncached) queries spend
+	// budget — asking again is free.
+	byShard := make([][]int, len(s.caches))
+	for i, k := range keys {
+		sh := s.ring.shard(k)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	cachedMask := make([]bool, len(keys))
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		c := &s.caches[si]
+		c.mu.Lock()
+		for _, i := range byShard[si] {
+			if _, ok := c.m[keys[i]]; ok {
+				cachedMask[i] = true
+			}
+		}
+		c.mu.Unlock()
+	}
 	type missT struct {
 		key string
 		q   []int
@@ -266,9 +474,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var missKeys []string
 	seen := make(map[string]bool)
 	cached := 0
-	s.mu.Lock()
 	for i, k := range keys {
-		if _, ok := s.cache[k]; ok {
+		if cachedMask[i] {
 			cached++
 			continue
 		}
@@ -278,21 +485,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			missKeys = append(missKeys, k)
 		}
 	}
-	s.mu.Unlock()
 	fresh := len(misses)
 
-	// Reserve the fresh queries all-or-nothing against the ledger: a
-	// granted reservation appends a spend entry, a refused one a deny
-	// entry — either way the movement is on the audit trail before any
-	// backend runs. Zero-cost batches (all cached) leave no entry.
+	// Reserve the fresh queries all-or-nothing against the analyst's
+	// ledger shard: a granted reservation appends a spend entry, a
+	// refused one a deny entry — either way the movement hits the WAL
+	// (when durable) and the audit trail before any backend runs. A WAL
+	// append failure moves nothing and fails the batch. Zero-cost batches
+	// (all cached) leave no entry.
+	led := s.ledgers[shard]
 	hash := batchHash(missKeys)
 	if fresh > 0 {
-		entry, ok := s.ledger.spend(analyst, name, hash, trace, fresh, s.cfg.Budget)
+		entry, ok, lerr := led.spend(analyst, name, hash, trace, fresh, s.cfg.Budget)
+		if lerr != nil {
+			s.journal(name, analyst, trace, len(req.Queries), cached, fresh, CodeInternal)
+			s.fail(w, v, http.StatusInternalServerError, CodeInternal, "ledger wal: "+lerr.Error())
+			return
+		}
+		if s.wal != nil {
+			s.walAppends.Add(1)
+		}
 		s.journalBudget(entry)
 		if !ok {
 			s.budgetDenied.Add(1)
 			s.journal(name, analyst, trace, len(req.Queries), cached, fresh, CodeBudgetExhausted)
-			s.fail(w, http.StatusTooManyRequests, CodeBudgetExhausted,
+			s.fail(w, v, http.StatusTooManyRequests, CodeBudgetExhausted,
 				fmt.Sprintf("analyst %q: %d fresh queries over budget (%d of %d spent)",
 					analyst, fresh, entry.Cumulative, s.cfg.Budget))
 			return
@@ -316,7 +533,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// All-or-nothing: a failed batch spends nothing — the refund is
 		// its own ledger entry, so the audit trail shows the attempt.
 		if fresh > 0 {
-			s.journalBudget(s.ledger.refund(analyst, name, hash, trace, fresh))
+			re, rerr := led.refund(analyst, name, hash, trace, fresh)
+			if rerr != nil {
+				s.journal(name, analyst, trace, len(req.Queries), cached, fresh, CodeInternal)
+				s.fail(w, v, http.StatusInternalServerError, CodeInternal,
+					fmt.Sprintf("batch failed (%v) and the ledger refund did not persist: %v", err, rerr))
+				return
+			}
+			if s.wal != nil {
+				s.walAppends.Add(1)
+			}
+			s.journalBudget(re)
 			s.budgetRefunded.Add(int64(fresh))
 		}
 		status, code := http.StatusInternalServerError, CodeInternal
@@ -329,27 +556,55 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status, code = http.StatusTooManyRequests, CodeBudgetExhausted
 		}
 		s.journal(name, analyst, trace, len(req.Queries), cached, fresh, code)
-		s.fail(w, status, code, err.Error())
+		s.fail(w, v, status, code, err.Error())
 		return
 	}
 
-	s.mu.Lock()
-	for i, m := range misses {
-		s.cache[m.key] = fresh64[i]
+	// Store the fresh answers into their cache shards, then read every
+	// answer back — all answers come from the cache, so repeated keys in
+	// one batch and repeated batches across analysts observe one value.
+	freshByShard := make([][]int, len(s.caches))
+	for i := range misses {
+		sh := s.ring.shard(misses[i].key)
+		freshByShard[sh] = append(freshByShard[sh], i)
+	}
+	var newKeys int64
+	for si := range freshByShard {
+		if len(freshByShard[si]) == 0 {
+			continue
+		}
+		c := &s.caches[si]
+		c.mu.Lock()
+		for _, i := range freshByShard[si] {
+			if _, ok := c.m[misses[i].key]; !ok {
+				newKeys++
+			}
+			c.m[misses[i].key] = fresh64[i]
+		}
+		c.mu.Unlock()
+	}
+	if newKeys > 0 {
+		s.cacheSize.Set(float64(s.cacheCount.Add(newKeys)))
 	}
 	answers := make([]float64, len(keys))
-	for i, k := range keys {
-		answers[i] = s.cache[k]
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		c := &s.caches[si]
+		c.mu.Lock()
+		for _, i := range byShard[si] {
+			answers[i] = c.m[keys[i]]
+		}
+		c.mu.Unlock()
 	}
-	s.cacheSize.Set(float64(len(s.cache)))
-	s.mu.Unlock()
 	remaining := -1
 	if s.cfg.Budget > 0 {
-		remaining = s.cfg.Budget - s.ledger.total(analyst)
+		remaining = s.cfg.Budget - led.total(analyst)
 	}
 
 	s.journal(name, analyst, trace, len(req.Queries), cached, fresh, "")
-	writeJSON(w, http.StatusOK, QueryResponse{V: V, Answers: answers, Cached: cached, BudgetRemaining: remaining})
+	writeJSON(w, http.StatusOK, QueryResponse{V: v, Answers: answers, Cached: cached, BudgetRemaining: remaining})
 }
 
 // journal emits one run-journal event per query batch (when a journal is
@@ -390,23 +645,43 @@ func (s *Server) journalBudget(e LedgerEntry) {
 }
 
 // handleLedger serves the append-only privacy-loss ledger (GET, optional
-// ?analyst= filter): the full spend/refund/deny history plus the current
-// per-analyst net totals. Mounted at both /v1/ledger and /ledger.
+// ?analyst= filter): the full spend/refund/deny history merged across
+// shards in sequence order, plus the current per-analyst net totals.
+// Mounted at both /v1/ledger and /ledger.
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, CodeBadRequest, "GET only")
+		s.fail(w, V, http.StatusMethodNotAllowed, CodeBadRequest, "GET only")
 		return
 	}
 	s.requests.Add(1)
-	entries, totals := s.ledger.snapshot(r.URL.Query().Get("analyst"))
+	entries, totals := mergeSnapshots(s.ledgers, r.URL.Query().Get("analyst"))
 	writeJSON(w, http.StatusOK, LedgerResponse{
 		V: V, Budget: s.cfg.Budget, Totals: totals, Entries: entries,
 	})
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+// fail writes a refusal at the given wire version. v is V for failures
+// detected before the request's version is known.
+func (s *Server) fail(w http.ResponseWriter, v, status int, code, msg string) {
 	s.errs.Add(1)
-	writeJSON(w, status, ErrorResponse{V: V, Err: ErrorBody{Code: code, Message: msg}})
+	writeJSON(w, status, ErrorResponse{V: v, Err: ErrorBody{Code: code, Message: msg}})
+}
+
+// failOverloaded writes the typed load-shedding refusal: 503 with the
+// retry hint both as the coarse Retry-After header (whole seconds,
+// minimum 1) and the precise retry_after_ms body field.
+func (s *Server) failOverloaded(w http.ResponseWriter, v int, msg string) {
+	s.errs.Add(1)
+	ms := int(s.cfg.RetryAfter / time.Millisecond)
+	secs := (ms + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		V:   v,
+		Err: ErrorBody{Code: CodeOverloaded, Message: msg, RetryAfterMs: ms},
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -431,20 +706,18 @@ func queryKey(backend string, canonical []int) string {
 }
 
 // BudgetSpent reports the fresh queries an analyst has net spent (test
-// and telemetry hook); it is the analyst's ledger total.
+// and telemetry hook); it is the analyst's ledger-shard total.
 func (s *Server) BudgetSpent(analyst string) int {
-	return s.ledger.total(analyst)
+	return s.ledgers[s.ring.shard(ledgerKey(analyst))].total(analyst)
 }
 
 // Ledger returns the current entry history and totals (optionally
 // filtered to one analyst), the same view GET /v1/ledger serves.
 func (s *Server) Ledger(analyst string) ([]LedgerEntry, map[string]int) {
-	return s.ledger.snapshot(analyst)
+	return mergeSnapshots(s.ledgers, analyst)
 }
 
-// CacheLen reports the answer-cache population.
+// CacheLen reports the answer-cache population across all shards.
 func (s *Server) CacheLen() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.cache)
+	return int(s.cacheCount.Load())
 }

@@ -1,0 +1,66 @@
+package remote
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndInRange(t *testing.T) {
+	r := newRing(4)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s := r.shard(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard(%q) = %d, out of range", k, s)
+		}
+		if again := r.shard(k); again != s {
+			t.Fatalf("shard(%q) = %d then %d", k, s, again)
+		}
+	}
+}
+
+func TestRingCoversAllShards(t *testing.T) {
+	const shards = 8
+	r := newRing(shards)
+	hit := make([]bool, shards)
+	for i := 0; i < 4096; i++ {
+		hit[r.shard(fmt.Sprintf("key-%d", i))] = true
+	}
+	for s, ok := range hit {
+		if !ok {
+			t.Fatalf("shard %d received no keys out of 4096", s)
+		}
+	}
+}
+
+// TestRingConsistencyUnderGrowth pins the property the WAL replay relies
+// on: growing the ring only moves keys onto the NEW shards. A key the
+// 4-shard ring assigns to shard 0 or 1 is exactly where the 2-shard ring
+// put it, because the old shards' virtual points are unchanged and
+// adding points can only bring a key's successor closer.
+func TestRingConsistencyUnderGrowth(t *testing.T) {
+	r2, r4 := newRing(2), newRing(4)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s2, s4 := r2.shard(k), r4.shard(k)
+		if s4 < 2 && s4 != s2 {
+			t.Fatalf("key %q moved between surviving shards: %d -> %d", k, s2, s4)
+		}
+		if s4 != s2 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key moved to the new shards — the ring is not spreading")
+	}
+}
+
+func TestRingRejectsZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newRing(0) should panic")
+		}
+	}()
+	newRing(0)
+}

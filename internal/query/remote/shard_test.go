@@ -1,0 +1,87 @@
+package remote_test
+
+import (
+	"reflect"
+	"testing"
+
+	"singlingout/internal/query/remote"
+)
+
+// TestShardInvariance is the tentpole's correctness guarantee: the same
+// workload against a 1-shard and a 4-shard server produces byte-identical
+// answers, ledger entries (sequence numbers included) and totals.
+// Partitioning may change contention, never observations.
+func TestShardInvariance(t *testing.T) {
+	analysts := []string{"alice", "bob", "carol"}
+	batches := [][][]int{
+		{{0}, {1}, {2, 3}},
+		{{0}, {4, 5, 6}},     // {0} repeats: cached
+		{{1}, {2, 3}, {7}},   // two repeats
+		{{8}, {9}, {10, 11}}, // all fresh
+	}
+	type result struct {
+		answers [][]float64
+		entries []remote.LedgerEntry
+		totals  map[string]int
+	}
+	run := func(shards int) result {
+		srv, ts := newTestServer(t, remote.ServerConfig{Seed: 17, Shards: shards, Budget: 100})
+		var res result
+		for _, analyst := range analysts {
+			o := dialAnalyst(t, ts.URL, "laplace", analyst)
+			for _, b := range batches {
+				a, err := o.Answer(ctx, b)
+				if err != nil {
+					t.Fatalf("shards=%d analyst=%s: %v", shards, analyst, err)
+				}
+				res.answers = append(res.answers, a)
+			}
+		}
+		res.entries, res.totals = srv.Ledger("")
+		return res
+	}
+	one, four := run(1), run(4)
+	// Wire trace ids encode the test server's URL (its ephemeral port), so
+	// they legitimately differ between the two runs; blank them before
+	// comparing the histories byte-for-byte.
+	for i := range one.entries {
+		one.entries[i].Trace = ""
+	}
+	for i := range four.entries {
+		four.entries[i].Trace = ""
+	}
+	if !reflect.DeepEqual(one.answers, four.answers) {
+		t.Fatalf("answers differ between shards=1 and shards=4:\n%v\n%v", one.answers, four.answers)
+	}
+	if !reflect.DeepEqual(one.totals, four.totals) {
+		t.Fatalf("ledger totals differ: %v vs %v", one.totals, four.totals)
+	}
+	if !reflect.DeepEqual(one.entries, four.entries) {
+		t.Fatalf("ledger histories differ:\n%v\n%v", one.entries, four.entries)
+	}
+}
+
+// TestShardedCacheCrossAnalyst: the answer cache is partitioned by query,
+// not analyst — a query one analyst paid for is cached (free) for the
+// next, at any shard count.
+func TestShardedCacheCrossAnalyst(t *testing.T) {
+	srv, ts := newTestServer(t, remote.ServerConfig{Seed: 23, Shards: 4, Budget: 10})
+	a := dialAnalyst(t, ts.URL, "exact", "alice")
+	b := dialAnalyst(t, ts.URL, "exact", "bob")
+	batch := [][]int{{0}, {1}, {2}}
+	if _, err := a.Answer(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Answer(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.BudgetSpent("alice"); got != 3 {
+		t.Fatalf("alice spent %d, want 3", got)
+	}
+	if got := srv.BudgetSpent("bob"); got != 0 {
+		t.Fatalf("bob spent %d, want 0 (all cached by alice's batch)", got)
+	}
+	if got := srv.CacheLen(); got != 3 {
+		t.Fatalf("cache holds %d keys, want 3", got)
+	}
+}

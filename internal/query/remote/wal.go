@@ -1,0 +1,141 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// wal is the ledger's write-ahead log: one JSON-encoded LedgerEntry per
+// line, appended BEFORE the entry is applied to the in-memory ledger
+// (write-ahead in the strict sense — if the disk write fails, the budget
+// movement never happens and the request fails instead). On startup the
+// server replays the file through ReplayLedger, so a restart resumes
+// exactly the enforced budget state: spent epsilon stays spent.
+//
+// The answer cache is deliberately NOT persisted. After a restart a
+// previously-answered query is fresh again and charges budget again —
+// the conservative direction for a privacy ledger (an analyst can be
+// over-charged across restarts, never under-charged), and the sticky
+// backends still return byte-identical answers.
+type wal struct {
+	mu       sync.Mutex
+	f        *os.File
+	syncEach bool
+}
+
+// openWAL opens (creating if needed) the WAL at path for appending and
+// returns it together with the entries already on disk, sorted by
+// sequence number. Entry lines are written under one lock but sequence
+// numbers are assigned under per-shard ledger locks, so lines can land
+// slightly out of global order; sorting by Seq restores the order
+// ReplayLedger validates (per-analyst order is already correct on disk,
+// because an analyst's entries are serialized by their shard's lock).
+func openWAL(path string, syncEach bool) (*wal, []LedgerEntry, error) {
+	entries, err := ReadWAL(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("remote: opening ledger wal: %w", err)
+	}
+	return &wal{f: f, syncEach: syncEach}, entries, nil
+}
+
+// append durably records one entry. Called with the entry's shard-ledger
+// lock held, before the in-memory append — a failure here must leave the
+// ledger unmoved.
+func (w *wal) append(e LedgerEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("remote: encoding ledger wal entry: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("remote: appending ledger wal entry: %w", err)
+	}
+	if w.syncEach {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("remote: syncing ledger wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the WAL file.
+func (w *wal) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("remote: syncing ledger wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("remote: closing ledger wal: %w", err)
+	}
+	return nil
+}
+
+// ReadWAL loads a ledger write-ahead log: one JSON LedgerEntry per line,
+// returned sorted by sequence number. A torn final line (the tail of a
+// crash mid-append) is dropped; an undecodable line anywhere else is
+// corruption and fails loudly — a privacy ledger with a hole in the
+// middle must not silently replay to a smaller spend. Callers wanting
+// the cross-check run ReplayLedger over the result, as NewServer does.
+func ReadWAL(path string) ([]LedgerEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("remote: ledger wal: %w", err)
+		}
+		return nil, fmt.Errorf("remote: reading ledger wal: %w", err)
+	}
+	defer f.Close()
+	var entries []LedgerEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was NOT the final one: corruption, not a torn tail.
+			return nil, pendingErr
+		}
+		var e LedgerEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("remote: ledger wal line %d: undecodable entry: %w", lineNo, err)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("remote: ledger wal line %d: %w", lineNo+1, err)
+		}
+		return nil, fmt.Errorf("remote: reading ledger wal: %w", err)
+	}
+	// pendingErr still set here means the undecodable line was the last
+	// one — a torn append from a crash; replay proceeds without it (the
+	// entry it would have recorded never took effect in memory either,
+	// since WAL append precedes the ledger append).
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+	return entries, nil
+}

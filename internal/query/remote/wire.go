@@ -15,21 +15,36 @@ import (
 	"singlingout/internal/synth"
 )
 
-// V is the wire schema version. Every request and response carries it as
-// "v"; a mismatch is rejected with code "bad_request" so incompatible
-// clients fail loudly instead of misinterpreting fields.
-const V = 1
+// V is the baseline wire schema version. Every request and response
+// carries its version as "v"; an unsupported version is rejected with
+// code "unsupported_version" so incompatible clients fail loudly instead
+// of misinterpreting fields.
+//
+// V2 extends the schema with production-serving metadata: /v1/meta?v=2
+// additionally advertises the server's shard count, per-shard admission
+// queue depth and overload retry hint, and overload refusals carry a
+// retry_after_ms hint. The query/ledger bodies are unchanged — a v1
+// client interoperates with a v2 server (it simply never asks for the
+// extended meta), and a v2 client downgrades to v1 against a v1 server
+// (an old server ignores the ?v= parameter and answers with v:1).
+const (
+	V    = 1
+	V2   = 2
+	VMax = V2
+)
 
 // Error codes carried in ErrorResponse. The client maps the first three
 // back to the repository's sentinel errors (query.ErrInvalidQuery,
 // query.ErrBudgetExhausted, diffix.ErrSuppressed).
 const (
-	CodeInvalidQuery    = "invalid_query"    // 400: malformed subset query
-	CodeBudgetExhausted = "budget_exhausted" // 429: analyst budget would be exceeded
-	CodeSuppressed      = "suppressed"       // 422: low-count suppression refused the batch
-	CodeUnknownBackend  = "unknown_backend"  // 404: no such oracle endpoint
-	CodeBadRequest      = "bad_request"      // 400: undecodable body, version mismatch, oversized batch
-	CodeInternal        = "internal"         // 500: server-side failure
+	CodeInvalidQuery       = "invalid_query"       // 400: malformed subset query
+	CodeBudgetExhausted    = "budget_exhausted"    // 429: analyst budget would be exceeded
+	CodeSuppressed         = "suppressed"          // 422: low-count suppression refused the batch
+	CodeUnknownBackend     = "unknown_backend"     // 404: no such oracle endpoint
+	CodeBadRequest         = "bad_request"         // 400: undecodable body, oversized batch
+	CodeInternal           = "internal"            // 500: server-side failure
+	CodeOverloaded         = "overloaded"          // 503: admission queue full, request shed; retry after the hint
+	CodeUnsupportedVersion = "unsupported_version" // 400: wire version outside [1, VMax]
 )
 
 // Trace-propagation headers. The client stamps every query POST with
@@ -110,6 +125,13 @@ type QueryResponse struct {
 // attack. Seed/N/P let an evaluation harness regenerate the dataset
 // locally (remote.Dataset) to score reconstructions without the server
 // ever shipping the raw bits over a query endpoint.
+//
+// The trailing fields are v2 schema: GET /v1/meta?v=2 fills them, a v1
+// response omits them (Dial negotiates — Meta.V reports what the server
+// actually spoke). They describe the serving topology and overload
+// semantics: how many shards partition the answer cache and ledger, how
+// deep each shard's admission queue is, and how long a shed client
+// should back off before retrying.
 type Meta struct {
 	V        int      `json:"v"`
 	N        int      `json:"n"`
@@ -118,6 +140,10 @@ type Meta struct {
 	Backends []string `json:"backends"`
 	Budget   int      `json:"budget"`    // per-analyst fresh-query budget, 0 = unlimited
 	MaxBatch int      `json:"max_batch"` // largest accepted batch
+
+	Shards       int `json:"shards,omitempty"`         // v2: cache/ledger partitions
+	QueueDepth   int `json:"queue_depth,omitempty"`    // v2: per-shard admission queue bound
+	RetryAfterMs int `json:"retry_after_ms,omitempty"` // v2: suggested overload backoff
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -127,10 +153,14 @@ type ErrorResponse struct {
 }
 
 // ErrorBody carries the machine-readable code and the human-readable
-// message of a refusal.
+// message of a refusal. Overload refusals (CodeOverloaded) additionally
+// carry RetryAfterMs, the server's backoff hint, which the client folds
+// into its retry delay (the coarser HTTP Retry-After header is set too,
+// for intermediaries that speak only seconds).
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int    `json:"retry_after_ms,omitempty"`
 }
 
 // Dataset regenerates the server's dataset from its advertised (seed, n,
