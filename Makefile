@@ -4,8 +4,10 @@
 #                  tests (race on the concurrency-sensitive packages,
 #                  including internal/obs/serve) + a quick instrumented
 #                  repro run + the bench regression gate
-#   make lint      repolint (internal/analysis invariant suite) + go vet,
-#                  plus an advisory govulncheck pass when the tool exists
+#   make lint      repolint (internal/analysis invariant suite, including
+#                  the dataflow analyzers) + go vet, plus an advisory
+#                  govulncheck pass when the tool exists
+#   make lint-fix  apply repolint's suggested fixes in place, then re-lint
 #   make bench     quick instrumented repro run producing BENCH_<rev>.json
 #   make benchgate benchdiff against the committed BENCH_baseline.json
 #   make loadgen-smoke  sharded in-process qserver under injected
@@ -17,9 +19,9 @@
 GO ?= go
 rev := $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 
-.PHONY: ci fmt lint vet build test race repro-quick bench benchgate loadgen-smoke gobench repro clean
+.PHONY: ci fmt lint lint-fix fixcheck vet build test race repro-quick bench benchgate loadgen-smoke gobench repro clean
 
-ci: fmt lint build race test benchgate loadgen-smoke
+ci: fmt lint fixcheck build race test benchgate loadgen-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,6 +41,26 @@ lint:
 		govulncheck ./... || echo "govulncheck: advisory findings above (not gating)"; \
 	else \
 		echo "govulncheck not installed; skipping advisory vulnerability scan"; \
+	fi
+
+# Apply every machine fix repolint suggests (errors.Is rewrites, ctx
+# threading), gofmt-clean, then report what remains. Idempotent: running
+# it twice writes nothing the second time.
+lint-fix:
+	$(GO) run ./cmd/repolint -fix ./...
+
+# CI gate: repolint -fix at HEAD must be a no-op — a tree that still has
+# machine-fixable findings is a tree someone forgot to run `make lint-fix`
+# on. The rewritten files are left in place (they are the desired end
+# state); commit them to clear the gate.
+fixcheck:
+	@before="$$(git diff -- '*.go' | cksum)"; \
+	$(GO) run ./cmd/repolint -fix ./... >/dev/null; \
+	after="$$(git diff -- '*.go' | cksum)"; \
+	if [ "$$before" != "$$after" ]; then \
+		echo "repolint -fix produced a diff; review and commit it (or run 'make lint-fix'):"; \
+		git diff --stat -- '*.go'; \
+		exit 1; \
 	fi
 
 vet:

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tmpModule writes a throwaway module with one package and chdirs into
+// it for the duration of the test, so run() resolves it as the root.
+func tmpModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	return dir
+}
+
+const violationSrc = `package tmpmod
+
+import (
+	"fmt"
+	"io"
+)
+
+var ErrGone = fmt.Errorf("gone")
+
+func classify(err error) string {
+	if err == io.EOF {
+		return "eof"
+	}
+	if err == ErrGone {
+		return "gone"
+	}
+	return "other"
+}
+`
+
+// TestUnknownOnly pins the -only error contract: unknown names are
+// rejected with the full list of valid analyzers and exit code 2.
+func TestUnknownOnly(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-only=nosuchanalyzer"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("want exit 2, got %d (stderr: %s)", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "unknown analyzer(s) nosuchanalyzer") {
+		t.Errorf("stderr does not name the bad analyzer: %s", msg)
+	}
+	for _, name := range []string{"determinism", "sentinelcmp", "rawdataflow", "budgetflow", "lockdiscipline", "walorder"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr does not list valid analyzer %q: %s", name, msg)
+		}
+	}
+}
+
+// TestJSONRoundTrip runs -json on a module with two sentinel
+// comparisons and decodes the array back: every field must survive,
+// including the machine fix attached to each finding.
+func TestJSONRoundTrip(t *testing.T) {
+	tmpModule(t, map[string]string{"a.go": violationSrc})
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-only=sentinelcmp", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1 on findings, got %d (stderr: %s)", code, stderr.String())
+	}
+
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings, got %d: %s", len(diags), stdout.String())
+	}
+	for i, d := range diags {
+		if d.Analyzer != "sentinelcmp" {
+			t.Errorf("finding %d: analyzer = %q, want sentinelcmp", i, d.Analyzer)
+		}
+		if !strings.HasSuffix(d.File, "a.go") || d.Line == 0 || d.Col == 0 {
+			t.Errorf("finding %d: incomplete position %s:%d:%d", i, d.File, d.Line, d.Col)
+		}
+		if d.Message == "" {
+			t.Errorf("finding %d: empty message", i)
+		}
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			t.Errorf("finding %d: fix did not survive the round trip", i)
+		}
+	}
+	// Round trip: re-encode, decode, re-encode — the two serialized
+	// forms must be byte-identical.
+	again, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags2 []jsonDiag
+	if err := json.Unmarshal(again, &diags2); err != nil {
+		t.Fatal(err)
+	}
+	again2, err := json.Marshal(diags2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, again2) {
+		t.Errorf("round trip changed the findings:\nfirst:  %s\nsecond: %s", again, again2)
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins that a clean run emits [] (not null),
+// so downstream `jq length` style tooling never trips on null.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	tmpModule(t, map[string]string{"a.go": "package tmpmod\n\nfunc ok() {}\n"})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("want exit 0 on clean tree, got %d (stderr: %s)", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestDeterministicOutput runs the full suite twice over the same tree:
+// the outputs must be byte-identical (diagnostics sort by file, line,
+// column, analyzer).
+func TestDeterministicOutput(t *testing.T) {
+	tmpModule(t, map[string]string{
+		"a.go": violationSrc,
+		"b.go": `package tmpmod
+
+import "os"
+
+func eof(err error) bool { return err == os.ErrClosed }
+`,
+	})
+	outputs := make([]string, 2)
+	for i := range outputs {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-only=sentinelcmp", "./..."}, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("run %d: want exit 1, got %d (stderr: %s)", i, code, stderr.String())
+		}
+		outputs[i] = stdout.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("two runs differ:\n--- first\n%s\n--- second\n%s", outputs[0], outputs[1])
+	}
+	// The sort contract: a.go's findings precede b.go's, in line order.
+	lines := strings.Split(strings.TrimSpace(outputs[0]), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 findings, got %d:\n%s", len(lines), outputs[0])
+	}
+	if !strings.Contains(lines[0], "a.go") || !strings.Contains(lines[1], "a.go") || !strings.Contains(lines[2], "b.go") {
+		t.Errorf("findings not sorted by file:\n%s", outputs[0])
+	}
+}
+
+// TestFixRewritesAndRerunsClean drives -fix end to end through the CLI:
+// the violations are rewritten in place and a second -fix pass is a
+// no-op (idempotence), leaving a clean exit.
+func TestFixRewritesAndRerunsClean(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"a.go": violationSrc})
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-only=sentinelcmp", "-fix", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("want exit 0 after fixing, got %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "applied 2 fix(es)") {
+		t.Errorf("stderr does not report the applied fixes: %s", stderr.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "errors.Is(err, io.EOF)") {
+		t.Errorf("file not rewritten:\n%s", fixed)
+	}
+
+	// Idempotence: nothing left to fix, nothing rewritten.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only=sentinelcmp", "-fix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix pass: want exit 0, got %d (stderr: %s)", code, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "applied") {
+		t.Errorf("second -fix pass rewrote files: %s", stderr.String())
+	}
+}
+
+// TestListNamesAllAnalyzers keeps -list in sync with the registry.
+func TestListNamesAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("want exit 0, got %d", code)
+	}
+	for _, name := range []string{"rawdataflow", "budgetflow", "lockdiscipline", "walorder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -1,11 +1,23 @@
 // Package analysis is the repository's invariant-checking suite: a
 // minimal, dependency-free reimplementation of the
 // golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
-// plus the five repo-specific analyzers that cmd/repolint compiles into a
+// plus the repo-specific analyzers that cmd/repolint compiles into a
 // multichecker. The module deliberately has no third-party dependencies,
-// so the framework is built on go/ast + go/parser + go/token only; the
-// analyzers are syntactic (import-resolved selector matching), which is
-// exactly enough for the invariants they police.
+// so the framework is built on the go/ast, go/parser, go/token and
+// go/types standard packages only. Two analyzer styles coexist:
+//
+//   - syntactic walkers (import-resolved selector matching), enough for
+//     the determinism/sentinel/ctx/naming/goroutine invariants; and
+//   - dataflow analyzers, which request go/types information
+//     (Analyzer.NeedsTypes), build an intra-procedural CFG per function
+//     (cfg.go) and run a forward taint engine (taint.go) or a custom
+//     fixpoint over it — the privacy invariants (raw microdata never
+//     reaches the wire, budget spends always settle, WAL-append-before-
+//     apply, shard lock discipline) are path properties that no AST walk
+//     can express.
+//
+// Analyzers may attach a machine-applicable SuggestedFix to a
+// Diagnostic; cmd/repolint -fix applies them (see fix.go).
 //
 // The enforced invariants — why each exists and how to suppress a false
 // positive — are documented in docs/INVARIANTS.md. Suppression uses a
@@ -21,6 +33,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path"
 	"sort"
 	"strconv"
@@ -33,6 +46,16 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+
+	// NeedsTypes requests go/types information: before Run, the package
+	// is type-checked (best effort — see typecheck.go) and Pass.TypesInfo
+	// is populated. Syntactic analyzers leave this false and pay nothing.
+	NeedsTypes bool
+
+	// Wants, when non-nil, restricts the analyzer to packages it returns
+	// true for. It is consulted before type-checking, so a scoped
+	// dataflow analyzer only triggers type-checking where it runs.
+	Wants func(*Package) bool
 }
 
 // SourceFile is one parsed file of a package under analysis.
@@ -40,6 +63,7 @@ type SourceFile struct {
 	Path string // filesystem path, for diagnostics
 	Test bool   // *_test.go, or member of an external _test package
 	AST  *ast.File
+	Src  []byte // raw source, for SuggestedFix edits
 	// ignores maps a line number to the analyzer names a lint:ignore
 	// directive on that line suppresses. A directive covers its own line
 	// and the line immediately below it, so it works both trailing the
@@ -57,6 +81,19 @@ type Package struct {
 	Dir   string // directory the files were loaded from
 	Files []*SourceFile
 	Fset  *token.FileSet
+
+	// Resolver maps an import path to the directory holding its source,
+	// for type-checking module-local (or fixture-local) dependencies.
+	// Load installs a module resolver; analysistest installs a
+	// testdata/src resolver. nil = only stdlib imports resolve.
+	Resolver func(importPath string) (dir string, ok bool)
+
+	// Types and Info are populated on demand by EnsureTypes (typecheck.go)
+	// for analyzers that declare NeedsTypes. Both may be partial: type
+	// checking is tolerant, and analyzers must handle missing entries.
+	Types   *types.Package
+	Info    *types.Info
+	checked bool
 }
 
 // Diagnostic is one finding, already resolved to a file position.
@@ -64,7 +101,8 @@ type Diagnostic struct {
 	Analyzer   string
 	Pos        token.Position
 	Message    string
-	Suppressed bool // a lint:ignore directive covers this line
+	Suppressed bool          // a lint:ignore directive covers this line
+	Fix        *SuggestedFix // optional machine-applicable fix (repolint -fix)
 }
 
 func (d Diagnostic) String() string {
@@ -77,7 +115,12 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	Fset     *token.FileSet
-	diags    *[]Diagnostic
+	// TypesInfo is the package's (possibly partial) go/types resolution;
+	// nil unless the analyzer declared NeedsTypes. TypesPkg is the
+	// checked package object.
+	TypesInfo *types.Info
+	TypesPkg  *types.Package
+	diags     *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -87,6 +130,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportfFix records a finding carrying a machine-applicable fix.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// Edit builds a TextEdit replacing [pos, end) with newText, resolved to
+// the byte offsets repolint -fix applies.
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	return TextEdit{File: start.Filename, Start: start.Offset, End: stop.Offset, NewText: newText}
+}
+
+// SourceText returns the source bytes of [pos, end), e.g. an operand's
+// exact spelling for use in a fix replacement. Empty when the range does
+// not fall inside a loaded file.
+func (p *Pass) SourceText(pos, end token.Pos) string {
+	start := p.Fset.Position(pos)
+	stop := p.Fset.Position(end)
+	for _, f := range p.Pkg.Files {
+		if f.Path == start.Filename && stop.Offset <= len(f.Src) && start.Offset <= stop.Offset {
+			return string(f.Src[start.Offset:stop.Offset])
+		}
+	}
+	return ""
 }
 
 // ImportName resolves the local name under which file f imports
@@ -182,10 +257,18 @@ func (f *SourceFile) suppressed(analyzer string, line int) bool {
 
 // Run applies one analyzer to one package and returns its diagnostics
 // with suppression already resolved (suppressed findings are returned,
-// flagged, so callers can count them).
+// flagged, so callers can count them). Analyzers scoped via Wants are
+// skipped silently outside their scope; NeedsTypes analyzers get the
+// package type-checked first (best effort).
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.Wants != nil && !a.Wants(pkg) {
+		return nil, nil
+	}
+	if a.NeedsTypes {
+		pkg.EnsureTypes()
+	}
 	var diags []Diagnostic
-	pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, diags: &diags}
+	pass := &Pass{Analyzer: a, Pkg: pkg, Fset: pkg.Fset, TypesInfo: pkg.Info, TypesPkg: pkg.Types, diags: &diags}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 	}
@@ -218,6 +301,14 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			all = append(all, f.badDirectives...)
 		}
 	}
+	SortDiagnostics(all)
+	return all, nil
+}
+
+// SortDiagnostics orders findings by (file, line, column, analyzer) —
+// the full tie-break makes repolint output byte-deterministic even when
+// two analyzers fire on the same position.
+func SortDiagnostics(all []Diagnostic) {
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Pos.Filename != all[j].Pos.Filename {
 			return all[i].Pos.Filename < all[j].Pos.Filename
@@ -225,12 +316,15 @@ func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		if all[i].Pos.Line != all[j].Pos.Line {
 			return all[i].Pos.Line < all[j].Pos.Line
 		}
-		return all[i].Pos.Column < all[j].Pos.Column
+		if all[i].Pos.Column != all[j].Pos.Column {
+			return all[i].Pos.Column < all[j].Pos.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all, nil
 }
 
-// All returns the full repolint suite in stable order.
+// All returns the full repolint suite in stable order: the five
+// syntactic invariants, then the four type-aware dataflow invariants.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Determinism,
@@ -238,5 +332,9 @@ func All() []*Analyzer {
 		CtxBackground,
 		ObsNames,
 		BoundedGo,
+		RawDataFlow,
+		BudgetFlow,
+		LockDiscipline,
+		WALOrder,
 	}
 }

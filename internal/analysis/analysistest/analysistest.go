@@ -16,6 +16,7 @@ package analysistest
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -50,6 +51,9 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 		if pkg == nil {
 			t.Fatalf("%s: no Go files in %s", pkgPath, dir)
 		}
+		// Type-aware analyzers resolve fixture imports (including stub
+		// packages standing in for module internals) against testdata/src.
+		pkg.Resolver = srcResolver(filepath.Join("testdata", "src"))
 		diags, err := analysis.Run(a, pkg)
 		if err != nil {
 			t.Fatalf("%s: %v", pkgPath, err)
@@ -59,6 +63,24 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 			t.Fatalf("%s: %v", pkgPath, err)
 		}
 		checkDiagnostics(t, pkgPath, diags, wants)
+	}
+}
+
+// srcResolver maps import paths onto fixture directories under
+// testdata/src, mirroring how analysis.Load resolves module-local
+// imports. Paths with no fixture directory fall through to the stdlib
+// importer.
+func srcResolver(srcRoot string) func(string) (string, bool) {
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		abs = srcRoot
+	}
+	return func(importPath string) (string, bool) {
+		dir := filepath.Join(abs, filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
 	}
 }
 

@@ -53,8 +53,15 @@ func runCtxBackground(pass *Pass) error {
 			default:
 				return true
 			}
-			if hasCtxParamInScope(stack, ctxName) {
-				pass.Reportf(call.Pos(), "%s in package %s: a ctx parameter is in scope — thread it instead of severing cancellation", which, pass.Pkg.Name)
+			if param, ok := ctxParamInScope(stack, ctxName); ok {
+				var fix *SuggestedFix
+				if param != "" {
+					fix = &SuggestedFix{
+						Message: "use the in-scope " + param + " instead of a fresh root context",
+						Edits:   []TextEdit{pass.Edit(call.Pos(), call.End(), param)},
+					}
+				}
+				pass.ReportfFix(call.Pos(), fix, "%s in package %s: a ctx parameter is in scope — thread it instead of severing cancellation", which, pass.Pkg.Name)
 			} else {
 				pass.Reportf(call.Pos(), "%s in package %s: the enclosing function should accept a context.Context from its caller", which, pass.Pkg.Name)
 			}
@@ -64,12 +71,14 @@ func runCtxBackground(pass *Pass) error {
 	return nil
 }
 
-// hasCtxParamInScope reports whether any enclosing function declaration
-// or literal on the stack takes a context.Context parameter.
-func hasCtxParamInScope(stack []ast.Node, ctxName string) bool {
-	for _, n := range stack {
+// ctxParamInScope reports whether an enclosing function declaration or
+// literal on the stack takes a context.Context parameter, returning the
+// innermost such parameter's name ("" when unnamed or blank, which
+// still diagnoses but cannot auto-fix).
+func ctxParamInScope(stack []ast.Node, ctxName string) (string, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
 		var ft *ast.FuncType
-		switch v := n.(type) {
+		switch v := stack[i].(type) {
 		case *ast.FuncDecl:
 			ft = v.Type
 		case *ast.FuncLit:
@@ -81,10 +90,16 @@ func hasCtxParamInScope(stack []ast.Node, ctxName string) bool {
 			continue
 		}
 		for _, field := range ft.Params.List {
-			if isPkgSel(field.Type, ctxName, "Context") {
-				return true
+			if !isPkgSel(field.Type, ctxName, "Context") {
+				continue
 			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return name.Name, true
+				}
+			}
+			return "", true
 		}
 	}
-	return false
+	return "", false
 }

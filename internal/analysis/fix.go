@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// SuggestedFix is a machine-applicable repair attached to a Diagnostic:
+// a set of byte-offset text edits that remove the finding. repolint -fix
+// applies every unsuppressed fix, reformats, and rewrites the files;
+// applying a fixed tree again must be a no-op (idempotence is tested).
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces file bytes [Start, End) with NewText. Offsets are
+// resolved at report time (Pass.Edit), so edits survive serialization to
+// -json and are applied without re-resolving positions.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// ApplyFixes applies the fixes of the given diagnostics and returns the
+// new gofmt-formatted content of every changed file. Fixes whose edits
+// overlap an already-accepted fix are skipped (identical edits — e.g.
+// two findings both inserting the same import — are deduplicated
+// first); a fix producing unparseable code is an error, never a written
+// file.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, int, error) {
+	type edit struct {
+		TextEdit
+		fix int // accepted-fix ordinal, for conflict attribution
+	}
+	byFile := map[string][]edit{}
+	applied := 0
+	for _, d := range diags {
+		if d.Fix == nil || d.Suppressed || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		// Accept the fix only if none of its edits conflicts with an
+		// already-accepted, non-identical edit.
+		ok := true
+		for _, te := range d.Fix.Edits {
+			for _, prev := range byFile[te.File] {
+				if prev.TextEdit == te {
+					continue // exact duplicate: harmless
+				}
+				if te.Start < prev.End && prev.Start < te.End {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		applied++
+		for _, te := range d.Fix.Edits {
+			dup := false
+			for _, prev := range byFile[te.File] {
+				if prev.TextEdit == te {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				byFile[te.File] = append(byFile[te.File], edit{te, applied})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		fixed := append([]byte(nil), src...)
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(fixed) || e.Start > e.End {
+				return nil, 0, fmt.Errorf("analysis: fix edit out of range in %s: [%d,%d) of %d bytes", file, e.Start, e.End, len(fixed))
+			}
+			fixed = append(fixed[:e.Start], append([]byte(e.NewText), fixed[e.End:]...)...)
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, 0, fmt.Errorf("analysis: fixed %s does not parse (fix bug): %w", file, err)
+		}
+		if string(formatted) != string(src) {
+			out[file] = formatted
+		}
+	}
+	return out, applied, nil
+}
+
+// ImportEdit returns the TextEdit inserting an import of path into file
+// f (in sorted position within the first import group), or ok=false when
+// the file already imports it. Analyzers attach it alongside a fix that
+// introduces a new package reference — e.g. the sentinelcmp rewrite to
+// errors.Is needs "errors" imported.
+func (p *Pass) ImportEdit(f *ast.File, path string) (TextEdit, bool) {
+	if _, ok := ImportName(f, path); ok {
+		return TextEdit{}, false
+	}
+	quoted := strconv.Quote(path)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			// Grouped: insert before the first spec with a larger path,
+			// or after the last spec.
+			for _, spec := range gd.Specs {
+				is := spec.(*ast.ImportSpec)
+				if is.Path.Value > quoted {
+					return p.Edit(is.Pos(), is.Pos(), quoted+"\n"), true
+				}
+			}
+			last := gd.Specs[len(gd.Specs)-1].(*ast.ImportSpec)
+			return p.Edit(last.End(), last.End(), "\n"+quoted), true
+		}
+		// Single non-grouped import: add another import line after it.
+		return p.Edit(gd.End(), gd.End(), "\nimport "+quoted), true
+	}
+	// No imports at all: insert after the package clause.
+	return p.Edit(f.Name.End(), f.Name.End(), "\n\nimport "+quoted), true
+}

@@ -1,0 +1,174 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"singlingout/internal/analysis"
+)
+
+// runOnDir loads a throwaway package directory and runs one analyzer.
+func runOnDir(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, "fixpkg")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+// applyTo applies all fixes and rewrites the files, returning how many
+// files changed.
+func applyTo(t *testing.T, diags []analysis.Diagnostic) int {
+	t.Helper()
+	fixed, _, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	for path, content := range fixed {
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	return len(fixed)
+}
+
+// TestSentinelCmpFix checks the == → errors.Is rewrite end to end: the
+// comparison is replaced, the errors import appears, the result is
+// gofmt-clean, and a second -fix pass is a no-op (idempotence).
+func TestSentinelCmpFix(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixpkg
+
+import (
+	"fmt"
+	"io"
+)
+
+var ErrBoom = fmt.Errorf("boom")
+
+func check(err error) string {
+	if err == ErrBoom {
+		return "boom"
+	}
+	if err != io.EOF {
+		return "not eof"
+	}
+	return ""
+}
+`
+	path := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runOnDir(t, analysis.SentinelCmp, dir)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings before fixing, got %d: %v", len(diags), diags)
+	}
+	if n := applyTo(t, diags); n != 1 {
+		t.Fatalf("want 1 file rewritten, got %d", n)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(got)
+	for _, want := range []string{
+		`"errors"`,
+		"errors.Is(err, ErrBoom)",
+		"!errors.Is(err, io.EOF)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fixed file missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "err == ErrBoom") || strings.Contains(text, "err != io.EOF") {
+		t.Errorf("identity comparison survived the fix:\n%s", text)
+	}
+
+	// Idempotence: the fixed tree has no findings left, so a second
+	// apply changes nothing.
+	again := runOnDir(t, analysis.SentinelCmp, dir)
+	if len(again) != 0 {
+		t.Fatalf("fixed tree still has %d finding(s): %v", len(again), again)
+	}
+	if n := applyTo(t, again); n != 0 {
+		t.Fatalf("second fix pass rewrote %d file(s); want 0", n)
+	}
+}
+
+// TestCtxBackgroundFix checks the in-scope-ctx rewrite: the fresh root
+// context is replaced by the parameter already in scope.
+func TestCtxBackgroundFix(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixpkg
+
+import "context"
+
+func work(ctx context.Context) error {
+	sub, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = sub
+	return nil
+}
+`
+	path := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runOnDir(t, analysis.CtxBackground, dir)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Fix == nil {
+		t.Fatal("finding carries no fix despite an in-scope ctx parameter")
+	}
+	applyTo(t, diags)
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "context.WithCancel(ctx)") {
+		t.Errorf("fix did not thread the in-scope ctx:\n%s", got)
+	}
+	if again := runOnDir(t, analysis.CtxBackground, dir); len(again) != 0 {
+		t.Fatalf("fixed tree still has %d finding(s): %v", len(again), again)
+	}
+}
+
+// TestApplyFixesConflict checks that overlapping fixes are applied
+// first-come and the conflicting one skipped, never both.
+func TestApplyFixesConflict(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.go")
+	src := "package fixpkg\n\nvar x = 1\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Two fixes rewriting the same bytes to different text.
+	start := strings.Index(src, "1")
+	diags := []analysis.Diagnostic{
+		{Fix: &analysis.SuggestedFix{Edits: []analysis.TextEdit{{File: path, Start: start, End: start + 1, NewText: "2"}}}},
+		{Fix: &analysis.SuggestedFix{Edits: []analysis.TextEdit{{File: path, Start: start, End: start + 1, NewText: "3"}}}},
+	}
+	fixed, applied, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("want 1 fix applied (the second conflicts), got %d", applied)
+	}
+	if !strings.Contains(string(fixed[path]), "var x = 2") {
+		t.Errorf("first fix not applied:\n%s", fixed[path])
+	}
+}

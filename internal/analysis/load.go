@@ -71,10 +71,26 @@ func Load(root, modPath string, patterns []string) ([]*Package, error) {
 			return nil, err
 		}
 		if pkg != nil {
+			pkg.Resolver = ModuleResolver(root, modPath)
 			pkgs = append(pkgs, pkg)
 		}
 	}
 	return pkgs, nil
+}
+
+// ModuleResolver maps import paths under modPath to their directories
+// under root, for type-checking module-local dependencies from source.
+func ModuleResolver(root, modPath string) func(string) (string, bool) {
+	return func(importPath string) (string, bool) {
+		if importPath == modPath {
+			return root, true
+		}
+		rel, ok := strings.CutPrefix(importPath, modPath+"/")
+		if !ok {
+			return "", false
+		}
+		return filepath.Join(root, filepath.FromSlash(rel)), true
+	}
 }
 
 // importPathFor maps a directory under root to its import path.
@@ -124,7 +140,11 @@ func LoadDir(dir, importPath string) (*Package, error) {
 			continue
 		}
 		fp := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, fp, nil, parser.ParseComments)
+		src, err := os.ReadFile(fp)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: read %s: %w", fp, err)
+		}
+		f, err := parser.ParseFile(fset, fp, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parse %s: %w", fp, err)
 		}
@@ -132,6 +152,7 @@ func LoadDir(dir, importPath string) (*Package, error) {
 			Path: fp,
 			Test: strings.HasSuffix(e.Name(), "_test.go") || strings.HasSuffix(f.Name.Name, "_test"),
 			AST:  f,
+			Src:  src,
 		}
 		sf.collectIgnores(fset)
 		pkg.Files = append(pkg.Files, sf)

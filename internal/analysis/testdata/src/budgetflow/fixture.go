@@ -1,0 +1,89 @@
+// Fixture for the budgetflow analyzer: every path performing a ledger
+// spend must settle it (refund, deny, or commit) before returning an
+// error. The violations are reachability properties of the CFG — no
+// syntactic pattern distinguishes `leak` from `settled` below.
+package budgetflow
+
+type entry struct{ Cumulative int }
+
+type ledger struct{}
+
+func (l *ledger) spend(analyst string, cost, budget int) (entry, bool, error) {
+	return entry{}, true, nil
+}
+
+func (l *ledger) refund(analyst string, cost int) (entry, error) { return entry{}, nil }
+
+func fail(msg string)     {}
+func backendBroken() bool { return false }
+
+// leak: the backend-failure path returns an error with the spend still
+// outstanding — the analyst is charged for answers never released.
+func leak(l *ledger) {
+	_, ok, err := l.spend("a", 1, 10)
+	if err != nil {
+		fail("wal refused") // ok: the spend never took effect
+		return
+	}
+	if !ok {
+		fail("denied") // ok: the ledger recorded a deny, nothing moved
+		return
+	}
+	if backendBroken() {
+		fail("backend") // want `unsettled ledger spend`
+		return
+	}
+}
+
+// settled: the same shape with the refund in place is the sanctioned
+// all-or-nothing pattern.
+func settled(l *ledger) {
+	_, ok, err := l.spend("a", 1, 10)
+	if err != nil {
+		fail("wal refused")
+		return
+	}
+	if !ok {
+		fail("denied")
+		return
+	}
+	if backendBroken() {
+		l.refund("a", 1)
+		fail("backend") // ok: refunded first
+		return
+	}
+}
+
+// guarded: the handleQuery shape — spend and refund both behind
+// correlated `fresh > 0` guards. The zero-cost path reaches the error
+// exit clean, so not EVERY path is spent and the exit is sanctioned.
+func guarded(l *ledger, fresh int) {
+	if fresh > 0 {
+		_, ok, err := l.spend("a", fresh, 10)
+		if err != nil {
+			fail("wal refused")
+			return
+		}
+		if !ok {
+			fail("denied")
+			return
+		}
+	}
+	if backendBroken() {
+		if fresh > 0 {
+			l.refund("a", fresh)
+		}
+		fail("backend") // ok: refunded (or never spent)
+		return
+	}
+}
+
+// suppressed: the escape hatch documents itself.
+func acknowledged(l *ledger) {
+	_, _, _ = l.spend("a", 1, 10)
+	if backendBroken() {
+		//lint:ignore budgetflow fixture-sanctioned leak
+		fail("backend")
+		return
+	}
+}

@@ -1,0 +1,81 @@
+// Fixture for the rawdataflow analyzer: raw-microdata values must not
+// reach wire/JSON/journal/log sinks. Every violating case here is
+// dataflow-dependent — a syntactic walker cannot tell `json.Marshal(r)`
+// leaking a row from `json.Marshal(n)` releasing a count; only tracking
+// what r holds can.
+package rawdataflow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"singlingout/internal/census"
+	"singlingout/internal/dataset"
+	"singlingout/internal/kanon"
+	"singlingout/internal/query/remote"
+)
+
+func direct(ds dataset.Dataset) {
+	json.Marshal(ds.Rows) // want `raw microdata reaches json\.Marshal`
+}
+
+// flow: the leak is two assignments away from the source — this is the
+// case the old AST-only framework could not express.
+func flow(ds dataset.Dataset) {
+	r := ds.Rows[0]
+	row := r
+	fmt.Println(row) // want `raw microdata reaches fmt\.Println`
+}
+
+func tuple(t census.Tuple) {
+	json.Marshal(t) // want `raw microdata reaches json\.Marshal`
+}
+
+// constructor: remote.Dataset returns a raw bit vector ([]int64 is too
+// anonymous to match by type, so the call itself is the source).
+func regenerated() {
+	bits := remote.Dataset(7, 128, 0.5)
+	json.Marshal(bits) // want `raw microdata reaches json\.Marshal`
+}
+
+// scalars: aggregate statistics derived from raw data are exactly what
+// the system releases — counts and rates never carry taint.
+func aggregate(ds dataset.Dataset) {
+	n := len(ds.Rows)
+	sum := 0
+	for _, r := range ds.Rows {
+		sum += int(r[0])
+	}
+	fmt.Println(n, sum) // ok: scalar carriers
+}
+
+// killed: a strong update to a clean value ends the taint — only the
+// CFG-ordered dataflow can tell this apart from `regenerated` above.
+func killed() {
+	bits := remote.Dataset(7, 64, 0.5)
+	bits = nil
+	json.Marshal(bits) // ok: bits was overwritten before the sink
+}
+
+// sanitized: the anonymization mechanism's output is a sanctioned
+// release even though it is row-shaped.
+func sanitized(ds dataset.Dataset) {
+	out := kanon.Suppress(ds.Rows, 2)
+	json.Marshal(out) // ok: kanon is a sanitizer
+}
+
+// suppressed: deliberate raw egress documents itself.
+func exported(ds dataset.Dataset) {
+	//lint:ignore rawdataflow fixture-sanctioned deliberate export
+	json.Marshal(ds.Rows)
+}
+
+// errs: error results of calls over raw data are diagnostics, not rows.
+func errs(ds dataset.Dataset) error {
+	rows, err := process(ds.Rows)
+	_ = rows
+	fmt.Println(err) // ok: error values do not carry microdata
+	return err
+}
+
+func process(rows []dataset.Record) ([]dataset.Record, error) { return rows, nil }

@@ -1,0 +1,7 @@
+// Package census is a fixture stub mirroring the real module's census
+// microdata tuple type.
+package census
+
+type Tuple struct {
+	Sex, AgeBucket, Race, Ethnicity int
+}

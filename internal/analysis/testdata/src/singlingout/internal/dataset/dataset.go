@@ -1,0 +1,12 @@
+// Package dataset is a fixture stub mirroring the real module's
+// raw-microdata types so type-path matching works in analyzer fixtures.
+package dataset
+
+type Schema struct{ Cols int }
+
+type Record []int64
+
+type Dataset struct {
+	Schema *Schema
+	Rows   []Record
+}

@@ -1,0 +1,7 @@
+// Package kanon is a fixture stub for the anonymization mechanism the
+// rawdataflow analyzer treats as a sanitizer.
+package kanon
+
+import "singlingout/internal/dataset"
+
+func Suppress(rows []dataset.Record, k int) [][]int64 { return nil }

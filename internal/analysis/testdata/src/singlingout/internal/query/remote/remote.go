@@ -1,0 +1,5 @@
+// Package remote is a fixture stub for the regeneration-contract
+// dataset constructor.
+package remote
+
+func Dataset(seed int64, n int, p float64) []int64 { return make([]int64, n) }

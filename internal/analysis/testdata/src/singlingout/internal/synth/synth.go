@@ -1,0 +1,4 @@
+// Package synth is a fixture stub for the raw bit-vector constructor.
+package synth
+
+func BinaryDataset(seed int64, n int, p float64) []int64 { return make([]int64, n) }

@@ -1,0 +1,76 @@
+// Fixture for the walorder analyzer: in-memory ledger applies must be
+// dominated by a successful WAL append. Each violation is a path
+// property — `canonical` below contains the same statements as the
+// violations, ordered correctly.
+package walorder
+
+type entry struct{ Seq int64 }
+
+type wal struct{}
+
+func (w *wal) append(e entry) error { return nil }
+
+type ledger struct {
+	wal     *wal
+	entries []entry
+	totals  map[string]int
+}
+
+// applyFirst: write-behind — the memory moves before the log.
+func (l *ledger) applyFirst(e entry) error {
+	l.entries = append(l.entries, e) // want `not preceded by a WAL append`
+	if l.wal != nil {
+		if err := l.wal.append(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyOnFailure: the error branch applies anyway — a failed disk write
+// must leave the ledger unmoved.
+func (l *ledger) applyOnFailure(e entry) error {
+	if err := l.wal.append(e); err != nil {
+		l.totals["a"] = 1 // want `reachable from the WAL append's error branch`
+		return err
+	}
+	l.entries = append(l.entries, e)
+	return nil
+}
+
+// unchecked: applying before branching on the append's error means the
+// write may have failed.
+func (l *ledger) unchecked(e entry) error {
+	err := l.wal.append(e)
+	l.entries = append(l.entries, e) // want `before the WAL append's error is checked`
+	return err
+}
+
+// discarded: an ignored append error cannot fail the movement.
+func (l *ledger) discarded(e entry) {
+	l.wal.append(e) // want `WAL append error discarded`
+	l.entries = append(l.entries, e)
+}
+
+// canonical: the sanctioned shape — nil-guarded append, error checked,
+// memory applied only on the success path (or with no WAL attached).
+func (l *ledger) canonical(e entry) error {
+	if l.wal != nil {
+		if err := l.wal.append(e); err != nil {
+			return err
+		}
+	}
+	l.entries = append(l.entries, e)
+	l.totals["a"]++
+	return nil
+}
+
+// acknowledged: the escape hatch documents itself.
+func (l *ledger) acknowledged(e entry) error {
+	//lint:ignore walorder fixture-sanctioned write-behind
+	l.entries = append(l.entries, e)
+	if err := l.wal.append(e); err != nil {
+		return err
+	}
+	return nil
+}

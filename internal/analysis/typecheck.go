@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file threads go/types information into a Pass without leaving the
+// standard library. The package under analysis is type-checked against
+// its own parsed ASTs (so types.Info entries are keyed by the exact
+// nodes the analyzers walk); its imports are resolved by a shared,
+// process-wide checker that type-checks module-local dependencies from
+// source via Package.Resolver and falls back to the stdlib source
+// importer for everything else.
+//
+// Checking is deliberately tolerant: fixtures reference stub packages,
+// and a partial types.Info is far more useful to a dataflow analyzer
+// than no Info at all. Every error is swallowed, unresolvable imports
+// become empty placeholder packages, and analyzers must treat missing
+// Info entries as "unknown" rather than assuming resolution succeeded.
+
+// EnsureTypes populates pkg.Types and pkg.Info (best effort, idempotent).
+// Only non-test files are checked: external _test packages would make
+// the file set ill-formed, and the dataflow invariants police production
+// code anyway — analyzers using type info must skip f.Test files.
+func (p *Package) EnsureTypes() {
+	if p.checked {
+		return
+	}
+	p.checked = true
+	var files []*ast.File
+	for _, f := range p.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		return
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: &tolerantImporter{resolve: p.Resolver},
+		Error:    func(error) {}, // collect-and-continue: partial Info beats none
+	}
+	// Check returns a usable (partial) package even when it also returns
+	// an error; both the error and any panic from the importer chain are
+	// deliberately dropped.
+	func() {
+		defer func() { _ = recover() }()
+		p.Types, _ = conf.Check(p.Path, p.Fset, files, p.Info)
+	}()
+}
+
+// sharedImports caches type-checked dependencies (stdlib and
+// module-local) across every package EnsureTypes touches in the process:
+// repolint ./... type-checks the net/http closure once, not once per
+// analyzed package.
+var sharedImports = struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	std  types.Importer
+	// byDir memoizes module-local (resolver-supplied) packages by
+	// directory; byPath memoizes stdlib importer results.
+	byDir  map[string]*types.Package
+	byPath map[string]*types.Package
+}{
+	fset:   token.NewFileSet(),
+	byDir:  map[string]*types.Package{},
+	byPath: map[string]*types.Package{},
+}
+
+// tolerantImporter resolves imports for one package under analysis. It
+// never returns an error: an unresolvable or cyclic import yields an
+// empty placeholder package, degrading the analysis instead of aborting
+// it.
+type tolerantImporter struct {
+	resolve func(string) (string, bool)
+}
+
+func (ti *tolerantImporter) Import(importPath string) (*types.Package, error) {
+	sharedImports.mu.Lock()
+	defer sharedImports.mu.Unlock()
+	return importLocked(importPath, ti.resolve), nil
+}
+
+// importLocked resolves one import under the sharedImports lock,
+// recursing for module-local dependency chains.
+func importLocked(importPath string, resolve func(string) (string, bool)) *types.Package {
+	if resolve != nil {
+		if dir, ok := resolve(importPath); ok {
+			return checkDirLocked(importPath, dir, resolve)
+		}
+	}
+	if pkg, ok := sharedImports.byPath[importPath]; ok {
+		return pkg
+	}
+	pkg := stdlibImport(importPath)
+	if pkg == nil {
+		pkg = placeholder(importPath)
+	}
+	sharedImports.byPath[importPath] = pkg
+	return pkg
+}
+
+// stdlibImport type-checks a non-module package via the stdlib source
+// importer, converting any error or panic into nil.
+func stdlibImport(importPath string) (pkg *types.Package) {
+	defer func() { _ = recover() }()
+	if sharedImports.std == nil {
+		sharedImports.std = importer.ForCompiler(sharedImports.fset, "source", nil)
+	}
+	pkg, err := sharedImports.std.Import(importPath)
+	if err != nil {
+		return nil
+	}
+	return pkg
+}
+
+// checkDirLocked type-checks the non-test files of one resolver-supplied
+// directory, memoized. A dependency cycle (impossible in compiling Go,
+// possible in broken fixtures) resolves to a placeholder.
+func checkDirLocked(importPath, dir string, resolve func(string) (string, bool)) *types.Package {
+	if pkg, ok := sharedImports.byDir[dir]; ok {
+		if pkg == nil { // in progress: cycle
+			return placeholder(importPath)
+		}
+		return pkg
+	}
+	sharedImports.byDir[dir] = nil // mark in progress
+	pkg := func() (pkg *types.Package) {
+		defer func() { _ = recover() }()
+		files, err := parseDirNonTest(sharedImports.fset, dir)
+		if err != nil || len(files) == 0 {
+			return nil
+		}
+		conf := types.Config{
+			Importer: importFunc(func(p string) (*types.Package, error) {
+				return importLocked(p, resolve), nil
+			}),
+			Error: func(error) {},
+		}
+		pkg, _ = conf.Check(importPath, sharedImports.fset, files, nil)
+		return pkg
+	}()
+	if pkg == nil {
+		pkg = placeholder(importPath)
+	}
+	sharedImports.byDir[dir] = pkg
+	return pkg
+}
+
+// parseDirNonTest parses every non-test .go file directly in dir.
+func parseDirNonTest(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// placeholder is an empty, complete package standing in for an import
+// that could not be type-checked; references into it simply fail to
+// resolve, which the tolerant Check config absorbs.
+func placeholder(importPath string) *types.Package {
+	pkg := types.NewPackage(importPath, path.Base(importPath))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// importFunc adapts a function to types.Importer.
+type importFunc func(string) (*types.Package, error)
+
+func (f importFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// NamedFrom reports whether t is (or points/aliases to) a named type
+// declared in package pkgPath with one of the given names. It unwraps
+// pointers but deliberately not slices/maps — callers wanting element
+// matching use ElemNamedFrom.
+func NamedFrom(t types.Type, pkgPath string, names map[string]bool) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && (names == nil || names[obj.Name()])
+}
+
+// ElemNamedFrom reports whether t transports values matching NamedFrom:
+// the type itself, or the element type of a slice/array/map/chan/pointer
+// chain around it.
+func ElemNamedFrom(t types.Type, pkgPath string, names map[string]bool) bool {
+	for i := 0; i < 8 && t != nil; i++ {
+		if NamedFrom(t, pkgPath, names) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		case *types.Pointer:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the called function or method of call via the
+// pass's type info (nil when unresolved or not a static callee).
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncPkgPath returns the declaring package path of fn ("" for
+// builtins/universe).
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// RecvNamed returns the name of fn's receiver's named type ("" when fn
+// is not a method or the receiver type is unnamed).
+func RecvNamed(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
